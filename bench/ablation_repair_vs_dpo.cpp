@@ -1,0 +1,70 @@
+// Ablation: counterexample-guided controller repair vs DPO-AF. The
+// refinement-loop baseline (related work: Jha et al. 2023) patches each
+// individual controller until the safety specifications pass; DPO-AF
+// instead improves the *language model*, so new queries come out compliant
+// without any per-response loop. This bench quantifies both: how much
+// repair recovers per flawed catalog variant, and what it cannot fix
+// (liveness violations, unalignable responses).
+//
+// Usage: ablation_repair_vs_dpo
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "core/repair.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace dpoaf;
+  bench::Args args(argc, argv);
+  (void)args;
+  bench::Stopwatch sw;
+
+  driving::DrivingDomain domain;
+  TextTable table("counterexample-guided repair per flawed variant");
+  table.set_header({"task", "variant", "before", "after_repair", "iters"});
+
+  RunningStats before_stats, after_stats;
+  std::size_t unalignable = 0, fully_repaired = 0, total = 0;
+  for (const auto& task : domain.tasks()) {
+    for (const auto& variant : task.variants) {
+      if (variant.tag == driving::FlawTag::Good ||
+          variant.tag == driving::FlawTag::GoodVerbose)
+        continue;
+      ++total;
+      if (variant.tag == driving::FlawTag::Unaligned) {
+        // Repair operates on controllers; an unalignable response never
+        // yields one. Only fine-tuning the model can fix this failure
+        // class — the structural advantage of DPO-AF.
+        ++unalignable;
+        table.add_row({task.id, driving::flaw_name(variant.tag), "-1", "-1",
+                       "-"});
+        continue;
+      }
+      auto g2f = glm2fsa::glm2fsa(variant.text, domain.aligner(),
+                                  domain.build_options());
+      const auto result =
+          core::repair_controller(domain, task.scenario, g2f.controller);
+      before_stats.add(result.score_before);
+      after_stats.add(result.score_after);
+      if (result.score_after == static_cast<int>(domain.specs().size()))
+        ++fully_repaired;
+      table.add_row({task.id, driving::flaw_name(variant.tag),
+                     std::to_string(result.score_before),
+                     std::to_string(result.score_after),
+                     std::to_string(result.iterations)});
+    }
+  }
+  table.print(std::cout);
+
+  std::cout << "\nsummary: repairable variants improved from mean "
+            << TextTable::num(before_stats.mean(), 2) << " to "
+            << TextTable::num(after_stats.mean(), 2) << " of 15; "
+            << fully_repaired << "/" << total - unalignable
+            << " reach full compliance; " << unalignable << "/" << total
+            << " variants are unalignable and unrepairable (DPO-AF's "
+               "fine-tuning is the only channel that fixes those)\n";
+
+  bench::print_runtime(sw);
+  return 0;
+}

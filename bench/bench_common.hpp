@@ -1,0 +1,62 @@
+// Shared helpers for the figure-reproduction benches: a tiny CLI parser
+// (--fast halves workloads for smoke runs; --seeds/--epochs override) and
+// timing utilities. Each bench binary prints the same rows/series its
+// paper figure reports, via util::TextTable.
+#pragma once
+
+#include <chrono>
+#include <cstdlib>
+#include <iostream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace dpoaf::bench {
+
+class Args {
+ public:
+  Args(int argc, char** argv) {
+    for (int i = 1; i < argc; ++i) args_.emplace_back(argv[i]);
+  }
+
+  [[nodiscard]] bool has(std::string_view flag) const {
+    for (const auto& a : args_)
+      if (a == flag) return true;
+    return false;
+  }
+
+  [[nodiscard]] int get_int(std::string_view flag, int fallback) const {
+    for (std::size_t i = 0; i + 1 < args_.size(); ++i)
+      if (args_[i] == flag) return std::atoi(args_[i + 1].c_str());
+    return fallback;
+  }
+
+  [[nodiscard]] double get_double(std::string_view flag,
+                                  double fallback) const {
+    for (std::size_t i = 0; i + 1 < args_.size(); ++i)
+      if (args_[i] == flag) return std::atof(args_[i + 1].c_str());
+    return fallback;
+  }
+
+ private:
+  std::vector<std::string> args_;
+};
+
+class Stopwatch {
+ public:
+  Stopwatch() : start_(std::chrono::steady_clock::now()) {}
+  [[nodiscard]] double seconds() const {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         start_)
+        .count();
+  }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+inline void print_runtime(const Stopwatch& sw) {
+  std::cout << "\n[bench runtime: " << sw.seconds() << " s]\n";
+}
+
+}  // namespace dpoaf::bench

@@ -1,0 +1,88 @@
+// Figure 12 reproduction: quantitative comparison of the vision model's
+// confidence→accuracy mapping on simulator frames vs real-world frames
+// (the paper uses Grounded SAM on Carla vs NuImages; here the synthetic
+// detector with domain-conditioned noise — see DESIGN.md).
+//
+// Expected shape (paper): the two calibration curves approximately
+// coincide at every confidence level — the detector "performs
+// consistently", which is the premise for transferring verified
+// controllers to the real world (§5.3).
+//
+// Usage: fig12_vision_consistency [--per-class N] [--bins N]
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "util/table.hpp"
+#include "vision/calibration.hpp"
+#include "vision/detector.hpp"
+
+int main(int argc, char** argv) {
+  using namespace dpoaf;
+  bench::Args args(argc, argv);
+  bench::Stopwatch sw;
+
+  const int per_class = args.get_int("--per-class", 20000);
+  const int bins = args.get_int("--bins", 10);
+
+  vision::SyntheticDetector detector;
+  Rng rng_sim(21), rng_real(22);
+  const auto sim_samples =
+      detector.detect_all(vision::Domain::Simulation, per_class, rng_sim);
+  const auto real_samples =
+      detector.detect_all(vision::Domain::RealWorld, per_class, rng_real);
+
+  const auto sim_curve = vision::calibration_curve(sim_samples, bins);
+  const auto real_curve = vision::calibration_curve(real_samples, bins);
+
+  std::cout << "Figure 12 — detection confidence vs accuracy, simulation "
+               "vs real world (" << per_class << " detections per class per "
+               "domain)\n\n";
+  TextTable table("confidence-accuracy mapping");
+  table.set_header({"conf_bin", "sim_accuracy", "real_accuracy", "gap",
+                    "sim_n", "real_n"});
+  for (int b = 0; b < bins; ++b) {
+    const auto& s = sim_curve[static_cast<std::size_t>(b)];
+    const auto& r = real_curve[static_cast<std::size_t>(b)];
+    if (s.count == 0 || r.count == 0) continue;
+    table.add_row({TextTable::num(s.conf_lo, 1) + "-" +
+                       TextTable::num(s.conf_hi, 1),
+                   TextTable::num(s.accuracy, 3), TextTable::num(r.accuracy, 3),
+                   TextTable::num(std::abs(s.accuracy - r.accuracy), 3),
+                   std::to_string(s.count), std::to_string(r.count)});
+  }
+  table.print(std::cout);
+
+  // Per-class detail, as in the paper's per-object panels.
+  std::cout << "\n";
+  TextTable per_class_table("per-object-class overall accuracy");
+  per_class_table.set_header({"class", "sim_accuracy", "real_accuracy"});
+  for (const auto& cls : vision::driving_object_classes()) {
+    auto acc = [&cls](const std::vector<vision::DetectionSample>& xs) {
+      double a = 0;
+      int n = 0;
+      for (const auto& s : xs)
+        if (s.object_class == cls) {
+          a += s.correct;
+          ++n;
+        }
+      return a / std::max(1, n);
+    };
+    per_class_table.add_row({cls, TextTable::num(acc(sim_samples), 3),
+                             TextTable::num(acc(real_samples), 3)});
+  }
+  per_class_table.print(std::cout);
+
+  const double max_gap = vision::max_accuracy_gap(sim_curve, real_curve);
+  const double mean_gap = vision::mean_accuracy_gap(sim_curve, real_curve);
+  const double ece_sim = vision::expected_calibration_error(sim_curve);
+  const double ece_real = vision::expected_calibration_error(real_curve);
+  std::cout << "\nconsistency: max per-bin accuracy gap "
+            << TextTable::num(max_gap, 3) << ", mean gap "
+            << TextTable::num(mean_gap, 3)
+            << (max_gap < 0.12 ? " — consistent (OK)" : " — NOT consistent")
+            << "\ncalibration: ECE sim " << TextTable::num(ece_sim, 3)
+            << ", ECE real " << TextTable::num(ece_real, 3) << "\n";
+
+  bench::print_runtime(sw);
+  return 0;
+}

@@ -1,0 +1,91 @@
+// Figure 9 reproduction: number of specifications satisfied (formal
+// verification of controllers built from sampled responses) vs DPO epoch,
+// split into training-task and validation-task curves.
+//
+// Expected shape (paper): both curves rise with fine-tuning — roughly 60%
+// of the 15 specifications before fine-tuning to ≥ ~85-90% after — with
+// validation tracking training (the model generalizes the compliant
+// response patterns to held-out tasks).
+//
+// Usage: fig9_specs_vs_epoch [--epochs N] [--ckpt-every N] [--seed N] [--fast]
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "core/pipeline.hpp"
+#include "util/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace dpoaf;
+  bench::Args args(argc, argv);
+  bench::Stopwatch sw;
+
+  core::PipelineConfig cfg;
+  cfg.seed = static_cast<std::uint64_t>(args.get_int("--seed", 3));
+  cfg.dpo.epochs = args.get_int("--epochs", args.has("--fast") ? 30 : 100);
+  cfg.dpo.checkpoint_every =
+      args.get_int("--ckpt-every", args.has("--fast") ? 10 : 10);
+  cfg.dpo.pairs_per_epoch = 48;
+
+  core::DpoAfPipeline pipe(cfg);
+  std::cerr << "[pre-training the stand-in language model]\n";
+  const auto pt = pipe.pretrain_model();
+  std::cerr << "[pre-train loss " << pt.epoch_losses.front() << " -> "
+            << pt.epoch_losses.back() << "]\n";
+  const auto candidates = pipe.collect_candidates();
+  const auto pairs = pipe.build_pairs(candidates);
+  std::cerr << "[" << pairs.size() << " preference pairs from "
+            << candidates.size() << " training tasks]\n";
+  const auto result = pipe.run_dpo(pairs);
+
+  std::cout << "Figure 9 — specifications satisfied (of "
+            << pipe.domain().specs().size() << ") vs DPO epoch\n"
+            << "controllers from sampled responses ("
+            << pipe.config().eval_samples_per_task
+            << " samples/task), formally verified per scenario\n\n";
+
+  TextTable table("mean specifications satisfied per task group");
+  table.set_header(
+      {"epoch", "training_tasks", "validation_tasks", "train_pct",
+       "val_pct"});
+  for (const auto& ckpt : result.checkpoints) {
+    table.add_row({std::to_string(ckpt.epoch),
+                   TextTable::num(ckpt.train_mean_satisfied, 2),
+                   TextTable::num(ckpt.val_mean_satisfied, 2),
+                   TextTable::num(ckpt.train_mean_satisfied / 15.0 * 100, 1),
+                   TextTable::num(ckpt.val_mean_satisfied / 15.0 * 100, 1)});
+  }
+  table.print(std::cout);
+
+  TextTable per_task("per-task detail (first and last checkpoint)");
+  per_task.set_header({"task", "group", "satisfied@0", "satisfied@final"});
+  const auto& first = result.checkpoints.front();
+  const auto& last = result.checkpoints.back();
+  for (std::size_t i = 0; i < first.per_task.size(); ++i) {
+    const auto& task = pipe.domain().task_by_id(first.per_task[i].first);
+    per_task.add_row({task.id, task.training ? "train" : "validation",
+                      TextTable::num(first.per_task[i].second, 2),
+                      TextTable::num(last.per_task[i].second, 2)});
+  }
+  std::cout << "\n";
+  per_task.print(std::cout);
+
+  // Shape check: best checkpoint beats the pre-fine-tuning baseline.
+  double best_train = 0, best_val = 0;
+  for (const auto& c : result.checkpoints) {
+    best_train = std::max(best_train, c.train_mean_satisfied);
+    best_val = std::max(best_val, c.val_mean_satisfied);
+  }
+  std::cout << "\nshape check: train "
+            << TextTable::num(first.train_mean_satisfied, 2) << " -> best "
+            << TextTable::num(best_train, 2)
+            << (best_train > first.train_mean_satisfied ? " (rising, OK)"
+                                                        : " (NOT OK)")
+            << "; validation " << TextTable::num(first.val_mean_satisfied, 2)
+            << " -> best " << TextTable::num(best_val, 2)
+            << (best_val > first.val_mean_satisfied ? " (rising, OK)"
+                                                    : " (NOT OK)")
+            << "\n";
+
+  bench::print_runtime(sw);
+  return 0;
+}

@@ -1,0 +1,85 @@
+// Micro-benchmarks (google-benchmark): the formal-verification substrate.
+// Measures LTL→Büchi translation for each rulebook specification, product
+// construction, and full 15-spec verification of the paper's controllers —
+// the inner loop of the automated feedback channel.
+#include <benchmark/benchmark.h>
+
+#include "automata/product.hpp"
+#include "driving/domain.hpp"
+#include "modelcheck/buchi.hpp"
+
+namespace {
+
+using namespace dpoaf;
+
+const driving::DrivingDomain& domain() {
+  static driving::DrivingDomain d;
+  return d;
+}
+
+const automata::FsaController& after_controller() {
+  static automata::FsaController c = [] {
+    auto r = glm2fsa::glm2fsa(driving::paper_right_turn_after(),
+                              domain().aligner(), domain().build_options());
+    return r.controller;
+  }();
+  return c;
+}
+
+void BM_LtlToBuchi(benchmark::State& state) {
+  const auto& spec =
+      domain().specs()[static_cast<std::size_t>(state.range(0))];
+  std::size_t ba_states = 0;
+  for (auto _ : state) {
+    const auto ba = modelcheck::ltl_to_buchi(logic::ltl::lnot(spec.formula));
+    ba_states = ba.state_count();
+    benchmark::DoNotOptimize(ba_states);
+  }
+  state.counters["ba_states"] = static_cast<double>(ba_states);
+  state.SetLabel(spec.name);
+}
+BENCHMARK(BM_LtlToBuchi)->DenseRange(0, 14, 7);
+
+void BM_ProductConstruction(benchmark::State& state) {
+  const auto& model = domain().universal_model();
+  for (auto _ : state) {
+    const auto k = automata::make_product(model, after_controller(),
+                                          domain().product_options());
+    benchmark::DoNotOptimize(k.state_count());
+  }
+}
+BENCHMARK(BM_ProductConstruction);
+
+void BM_VerifyAllSpecs_Scenario(benchmark::State& state) {
+  const auto& model = domain().model(driving::ScenarioId::TrafficLight);
+  const auto product = automata::make_product(model, after_controller(),
+                                              domain().product_options());
+  std::size_t satisfied = 0;
+  for (auto _ : state) {
+    const auto report = modelcheck::verify_all(
+        product, domain().specs(),
+        domain().fairness(driving::ScenarioId::TrafficLight));
+    satisfied = report.satisfied();
+    benchmark::DoNotOptimize(satisfied);
+  }
+  state.counters["satisfied"] = static_cast<double>(satisfied);
+  state.counters["product_states"] =
+      static_cast<double>(product.state_count());
+}
+BENCHMARK(BM_VerifyAllSpecs_Scenario);
+
+void BM_FullFeedbackChannel(benchmark::State& state) {
+  // Text → parse → align → FSA → product → 15-spec verification: the cost
+  // of scoring one LM response.
+  for (auto _ : state) {
+    const auto fb = driving::formal_feedback(
+        domain(), driving::ScenarioId::TrafficLight,
+        driving::paper_right_turn_before());
+    benchmark::DoNotOptimize(fb.score());
+  }
+}
+BENCHMARK(BM_FullFeedbackChannel);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,101 @@
+// Micro-benchmarks (google-benchmark): the tensor/autograd substrate that
+// carries pre-training and DPO — matmul, softmax, layer-norm throughput,
+// and a full TinyGpt forward/backward step at the pipeline's default size.
+#include <benchmark/benchmark.h>
+
+#include "nn/gpt.hpp"
+#include "tensor/ops.hpp"
+
+namespace {
+
+using namespace dpoaf;
+using tensor::Tape;
+using tensor::Tensor;
+namespace ops = tensor::ops;
+
+void BM_Matmul(benchmark::State& state) {
+  const auto n = state.range(0);
+  Rng rng(1);
+  Tensor a = Tensor::randn({n, n}, rng);
+  Tensor b = Tensor::randn({n, n}, rng);
+  for (auto _ : state) {
+    Tensor c = ops::matmul(nullptr, a, b);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.counters["GFLOP/s"] = benchmark::Counter(
+      static_cast<double>(2 * n * n * n) * static_cast<double>(state.iterations()),
+      benchmark::Counter::kIsRate, benchmark::Counter::kIs1000);
+}
+BENCHMARK(BM_Matmul)->Arg(48)->Arg(96)->Arg(192);
+
+void BM_SoftmaxRows(benchmark::State& state) {
+  Rng rng(2);
+  Tensor x = Tensor::randn({64, 64}, rng);
+  for (auto _ : state) {
+    Tensor y = ops::causal_softmax_rows(nullptr, x);
+    benchmark::DoNotOptimize(y.data());
+  }
+}
+BENCHMARK(BM_SoftmaxRows);
+
+void BM_LayerNorm(benchmark::State& state) {
+  Rng rng(3);
+  Tensor x = Tensor::randn({64, 48}, rng);
+  Tensor gamma = Tensor::full({1, 48}, 1.0f);
+  Tensor beta = Tensor::zeros({1, 48});
+  for (auto _ : state) {
+    Tensor y = ops::layer_norm(nullptr, x, gamma, beta);
+    benchmark::DoNotOptimize(y.data());
+  }
+}
+BENCHMARK(BM_LayerNorm);
+
+nn::TinyGpt& pipeline_sized_model() {
+  static nn::TinyGpt model = [] {
+    nn::GptConfig cfg;
+    cfg.vocab_size = 80;
+    cfg.d_model = 48;
+    cfg.n_heads = 4;
+    cfg.n_layers = 2;
+    cfg.d_ff = 192;
+    cfg.max_seq = 96;
+    Rng rng(4);
+    return nn::TinyGpt(cfg, rng);
+  }();
+  return model;
+}
+
+void BM_GptForward(benchmark::State& state) {
+  auto& model = pipeline_sized_model();
+  std::vector<int> ids(64);
+  Rng rng(5);
+  for (auto& id : ids) id = static_cast<int>(rng.below(80));
+  for (auto _ : state) {
+    Tensor logits = model.forward(nullptr, ids);
+    benchmark::DoNotOptimize(logits.data());
+  }
+  state.counters["tok/s"] = benchmark::Counter(
+      static_cast<double>(64 * state.iterations()), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_GptForward);
+
+void BM_GptForwardBackward(benchmark::State& state) {
+  auto& model = pipeline_sized_model();
+  std::vector<int> ids(64);
+  Rng rng(6);
+  for (auto& id : ids) id = static_cast<int>(rng.below(80));
+  for (auto _ : state) {
+    Tape tape;
+    Tensor loss = model.nll_loss(&tape, ids);
+    tape.backward(loss);
+    benchmark::DoNotOptimize(loss.item());
+    for (Tensor p : model.parameters()) p.zero_grad();
+  }
+  state.counters["tok/s"] = benchmark::Counter(
+      static_cast<double>(64 * state.iterations()), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_GptForwardBackward);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,46 @@
+// Example: run the formal-verification feedback channel over every response
+// variant in the task catalog and print the per-variant specification
+// counts — the raw material the DPO preference pairs are built from.
+//
+// Usage: verify_catalog [--violations]
+//   --violations   also list which specifications each variant fails
+#include <iostream>
+#include <string>
+
+#include "driving/domain.hpp"
+#include "util/table.hpp"
+
+int main(int argc, char** argv) {
+  const bool show_violations =
+      argc > 1 && std::string(argv[1]) == "--violations";
+
+  dpoaf::driving::DrivingDomain domain;
+  dpoaf::TextTable table("formal feedback over the task catalog");
+  table.set_header({"task", "variant", "aligned", "specs_satisfied", "of"});
+
+  for (const auto& task : domain.tasks()) {
+    for (const auto& variant : task.variants) {
+      const auto fb =
+          dpoaf::driving::formal_feedback(domain, task.scenario, variant.text);
+      table.add_row({task.id, dpoaf::driving::flaw_name(variant.tag),
+                     fb.aligned ? "yes" : "NO",
+                     std::to_string(fb.aligned ? fb.report.satisfied() : 0),
+                     std::to_string(domain.specs().size())});
+      if (show_violations && fb.aligned) {
+        for (const auto& name : fb.report.violated())
+          std::cout << "  " << task.id << "/"
+                    << dpoaf::driving::flaw_name(variant.tag) << " violates "
+                    << name << "\n";
+      }
+      if (show_violations && !fb.aligned) {
+        for (const auto& issue : fb.issues)
+          std::cout << "  " << task.id << "/"
+                    << dpoaf::driving::flaw_name(variant.tag)
+                    << " alignment issue: step " << issue.step_index + 1
+                    << " '" << issue.phrase << "': " << issue.message << "\n";
+      }
+    }
+  }
+  table.print(std::cout);
+  return 0;
+}

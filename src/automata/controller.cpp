@@ -1,0 +1,82 @@
+#include "automata/controller.hpp"
+
+#include "util/check.hpp"
+
+namespace dpoaf::automata {
+
+CtrlStateId FsaController::add_state(std::string name) {
+  if (name.empty()) {
+    name = "q";
+    name += std::to_string(names_.size());
+  }
+  names_.push_back(std::move(name));
+  return static_cast<CtrlStateId>(names_.size() - 1);
+}
+
+void FsaController::set_initial(CtrlStateId q) {
+  DPOAF_CHECK(q >= 0 && static_cast<std::size_t>(q) < names_.size());
+  q0_ = q;
+}
+
+void FsaController::add_transition(CtrlStateId from, Guard guard,
+                                   Symbol action, CtrlStateId to) {
+  DPOAF_CHECK(from >= 0 && static_cast<std::size_t>(from) < names_.size());
+  DPOAF_CHECK(to >= 0 && static_cast<std::size_t>(to) < names_.size());
+  DPOAF_CHECK_MSG((guard.must_true & guard.must_false) == 0,
+                  "guard requires a proposition both true and false");
+  transitions_.push_back({from, guard, action, to});
+}
+
+const std::string& FsaController::name(CtrlStateId q) const {
+  DPOAF_CHECK(q >= 0 && static_cast<std::size_t>(q) < names_.size());
+  return names_[static_cast<std::size_t>(q)];
+}
+
+std::vector<ControllerMove> FsaController::moves(CtrlStateId q,
+                                                 Symbol sigma) const {
+  std::vector<ControllerMove> out;
+  for (const auto& t : transitions_) {
+    if (t.from != q || !t.guard.matches(sigma)) continue;
+    out.push_back({t.action, t.to});
+  }
+  if (out.empty()) out.push_back({default_action_, q});
+  return out;
+}
+
+ControllerMove FsaController::step(CtrlStateId q, Symbol sigma) const {
+  for (const auto& t : transitions_) {
+    if (t.from == q && t.guard.matches(sigma)) return {t.action, t.to};
+  }
+  return {default_action_, q};
+}
+
+std::string FsaController::describe(const Vocabulary& vocab) const {
+  std::string out;
+  out += "FSA controller: " + std::to_string(names_.size()) +
+         " states, initial " + names_[static_cast<std::size_t>(q0_)] + "\n";
+  auto literals = [&](const Guard& g) {
+    if (g.is_top()) return std::string("true");
+    std::string s;
+    bool first = true;
+    for (std::size_t i = 0; i < vocab.size(); ++i) {
+      const auto idx = static_cast<int>(i);
+      const bool pos = Vocabulary::has(g.must_true, idx);
+      const bool neg = Vocabulary::has(g.must_false, idx);
+      if (!pos && !neg) continue;
+      if (!first) s += " & ";
+      if (neg) s += "!";
+      s += vocab.name(idx);
+      first = false;
+    }
+    return s;
+  };
+  for (const auto& t : transitions_) {
+    out += "  " + names_[static_cast<std::size_t>(t.from)] + " --[" +
+           literals(t.guard) + " / " +
+           (t.action == 0 ? "eps" : vocab.format(t.action)) + "]--> " +
+           names_[static_cast<std::size_t>(t.to)] + "\n";
+  }
+  return out;
+}
+
+}  // namespace dpoaf::automata

@@ -1,0 +1,91 @@
+// Automaton-based controller A = ⟨Σ, A, Q, q0, δ⟩ (paper §3): a finite
+// state automaton mapping environment observations σ ∈ 2^P to actions
+// a ∈ 2^P_A. Transitions carry a *guard* — a conjunction of literals over P
+// (the GLM2FSA grammar only ever produces conjunctive conditions such as
+// "no car from left ∧ no pedestrian at right") — an emitted action, and a
+// successor state.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "logic/vocabulary.hpp"
+
+namespace dpoaf::automata {
+
+using logic::Symbol;
+using logic::Vocabulary;
+
+using CtrlStateId = int;
+
+/// Conjunction of literals over P: σ matches iff it contains every bit of
+/// `must_true` and none of `must_false`.
+struct Guard {
+  Symbol must_true = 0;
+  Symbol must_false = 0;
+
+  [[nodiscard]] bool matches(Symbol sigma) const {
+    return (sigma & must_true) == must_true && (sigma & must_false) == 0;
+  }
+  /// The trivially-true guard.
+  [[nodiscard]] static Guard top() { return {}; }
+  [[nodiscard]] bool is_top() const { return must_true == 0 && must_false == 0; }
+};
+
+struct ControllerTransition {
+  CtrlStateId from = 0;
+  Guard guard;
+  Symbol action = 0;  // a ∈ 2^P_A; 0 is the no-op symbol ε
+  CtrlStateId to = 0;
+};
+
+/// An enabled move of the controller: the action it emits and its successor.
+struct ControllerMove {
+  Symbol action = 0;
+  CtrlStateId to = 0;
+};
+
+class FsaController {
+ public:
+  /// `default_action` is emitted by the implicit wait self-loop taken when
+  /// no explicit transition is enabled (GLM2FSA semantics: the vehicle holds
+  /// position while its current step's condition is unmet). The driving
+  /// domain instantiates this with {stop}.
+  explicit FsaController(Symbol default_action = 0)
+      : default_action_(default_action) {}
+
+  CtrlStateId add_state(std::string name = "");
+  void set_initial(CtrlStateId q);
+  void add_transition(CtrlStateId from, Guard guard, Symbol action,
+                      CtrlStateId to);
+
+  [[nodiscard]] std::size_t state_count() const { return names_.size(); }
+  [[nodiscard]] CtrlStateId initial() const { return q0_; }
+  [[nodiscard]] const std::string& name(CtrlStateId q) const;
+  [[nodiscard]] Symbol default_action() const { return default_action_; }
+  [[nodiscard]] const std::vector<ControllerTransition>& transitions() const {
+    return transitions_;
+  }
+
+  /// All moves enabled in state q under observation σ. If no explicit
+  /// transition matches, returns the implicit wait move
+  /// {default_action, q} — the controller is input-enabled by construction.
+  [[nodiscard]] std::vector<ControllerMove> moves(CtrlStateId q,
+                                                  Symbol sigma) const;
+
+  /// Deterministic single-step used by the simulator: the first matching
+  /// transition in insertion order wins (GLM2FSA emits steps in priority
+  /// order, so insertion order is the intended precedence).
+  [[nodiscard]] ControllerMove step(CtrlStateId q, Symbol sigma) const;
+
+  /// Multi-line description (one line per transition) for demos/tests.
+  [[nodiscard]] std::string describe(const Vocabulary& vocab) const;
+
+ private:
+  Symbol default_action_;
+  CtrlStateId q0_ = 0;
+  std::vector<std::string> names_;
+  std::vector<ControllerTransition> transitions_;
+};
+
+}  // namespace dpoaf::automata

@@ -1,0 +1,96 @@
+#include "automata/dot_export.hpp"
+
+#include <sstream>
+
+#include "util/strings.hpp"
+
+namespace dpoaf::automata {
+
+namespace {
+
+std::string escape(const std::string& s) {
+  return replace_all(replace_all(s, "\\", "\\\\"), "\"", "\\\"");
+}
+
+std::string guard_text(const Guard& g, const Vocabulary& vocab) {
+  if (g.is_top()) return "true";
+  std::string s;
+  bool first = true;
+  for (std::size_t i = 0; i < vocab.size(); ++i) {
+    const auto idx = static_cast<int>(i);
+    const bool pos = Vocabulary::has(g.must_true, idx);
+    const bool neg = Vocabulary::has(g.must_false, idx);
+    if (!pos && !neg) continue;
+    if (!first) s += " & ";
+    if (neg) s += "!";
+    s += vocab.name(idx);
+    first = false;
+  }
+  return s;
+}
+
+}  // namespace
+
+std::string to_dot(const TransitionSystem& model, const Vocabulary& vocab,
+                   const std::string& graph_name) {
+  std::ostringstream os;
+  os << "digraph " << graph_name << " {\n  rankdir=LR;\n"
+     << "  node [shape=ellipse];\n";
+  for (std::size_t p = 0; p < model.state_count(); ++p) {
+    os << "  s" << p << " [label=\""
+       << escape(model.name(static_cast<int>(p)) + "\\n" +
+                 vocab.format(model.label(static_cast<int>(p))))
+       << "\"];\n";
+  }
+  for (std::size_t p = 0; p < model.state_count(); ++p)
+    for (int q : model.successors(static_cast<int>(p)))
+      os << "  s" << p << " -> s" << q << ";\n";
+  os << "}\n";
+  return os.str();
+}
+
+std::string to_dot(const FsaController& controller, const Vocabulary& vocab,
+                   const std::string& graph_name) {
+  std::ostringstream os;
+  os << "digraph " << graph_name << " {\n  rankdir=LR;\n";
+  for (std::size_t q = 0; q < controller.state_count(); ++q) {
+    os << "  q" << q << " [label=\""
+       << escape(controller.name(static_cast<int>(q))) << "\", shape="
+       << (static_cast<int>(q) == controller.initial() ? "doublecircle"
+                                                       : "circle")
+       << "];\n";
+  }
+  for (const auto& t : controller.transitions()) {
+    os << "  q" << t.from << " -> q" << t.to << " [label=\""
+       << escape(guard_text(t.guard, vocab) + " / " +
+                 (t.action == 0 ? std::string("eps")
+                                : vocab.format(t.action)))
+       << "\"];\n";
+  }
+  os << "}\n";
+  return os.str();
+}
+
+std::string to_dot(const Kripke& kripke, const TransitionSystem& model,
+                   const FsaController& controller, const Vocabulary& vocab,
+                   const std::string& graph_name) {
+  std::ostringstream os;
+  os << "digraph " << graph_name << " {\n  rankdir=LR;\n"
+     << "  node [shape=box];\n";
+  for (std::size_t s = 0; s < kripke.state_count(); ++s) {
+    os << "  k" << s << " [label=\""
+       << escape(kripke.describe_state(static_cast<int>(s), model,
+                                       controller, vocab) +
+                 "\\n" + vocab.format(kripke.labels[s]))
+       << "\"];\n";
+  }
+  for (int s : kripke.initial)
+    os << "  init" << s << " [shape=point]; init" << s << " -> k" << s
+       << ";\n";
+  for (std::size_t s = 0; s < kripke.state_count(); ++s)
+    for (int t : kripke.successors[s]) os << "  k" << s << " -> k" << t << ";\n";
+  os << "}\n";
+  return os.str();
+}
+
+}  // namespace dpoaf::automata

@@ -1,0 +1,30 @@
+// Graphviz DOT rendering of the automaton-based artifacts, matching the
+// paper's figures: world models (Figures 5/6/15/16/17), FSA controllers
+// (Figures 7/18), and product Kripke structures. Pipe the output through
+// `dot -Tpng` to regenerate the figures for any controller the library
+// constructs.
+#pragma once
+
+#include <string>
+
+#include "automata/controller.hpp"
+#include "automata/product.hpp"
+#include "automata/transition_system.hpp"
+
+namespace dpoaf::automata {
+
+/// World model: one node per state labeled with its σ ∈ 2^P.
+std::string to_dot(const TransitionSystem& model, const Vocabulary& vocab,
+                   const std::string& graph_name = "model");
+
+/// Controller: edges labeled "guard / action"; the initial state is drawn
+/// with a double circle.
+std::string to_dot(const FsaController& controller, const Vocabulary& vocab,
+                   const std::string& graph_name = "controller");
+
+/// Product Kripke structure: nodes named (p, q, a) with their labels.
+std::string to_dot(const Kripke& kripke, const TransitionSystem& model,
+                   const FsaController& controller, const Vocabulary& vocab,
+                   const std::string& graph_name = "product");
+
+}  // namespace dpoaf::automata

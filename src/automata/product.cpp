@@ -1,0 +1,104 @@
+#include "automata/product.hpp"
+
+#include <algorithm>
+#include <map>
+#include <tuple>
+
+#include "util/check.hpp"
+
+namespace dpoaf::automata {
+
+std::size_t Kripke::transition_count() const {
+  std::size_t n = 0;
+  for (const auto& out : successors) n += out.size();
+  return n;
+}
+
+std::string Kripke::describe_state(int s, const TransitionSystem& ts,
+                                   const FsaController& ctrl,
+                                   const Vocabulary& vocab) const {
+  DPOAF_CHECK(s >= 0 && static_cast<std::size_t>(s) < origin.size());
+  const KripkeState& ks = origin[static_cast<std::size_t>(s)];
+  std::string out = "(" + ts.name(ks.model_state) + ", " +
+                    ctrl.name(ks.ctrl_state) + ", ";
+  out += ks.action == 0 ? "eps" : vocab.format(ks.action);
+  out += ")";
+  return out;
+}
+
+Kripke make_product(const TransitionSystem& model, const FsaController& ctrl,
+                    const ProductOptions& options) {
+  DPOAF_CHECK_MSG(model.state_count() > 0, "model must have states");
+  DPOAF_CHECK_MSG(ctrl.state_count() > 0, "controller must have states");
+
+  Kripke k;
+  std::map<std::tuple<ModelStateId, CtrlStateId, Symbol>, int> index;
+
+  auto get_state = [&](ModelStateId p, CtrlStateId q, Symbol a) {
+    const auto key = std::make_tuple(p, q, a);
+    if (auto it = index.find(key); it != index.end()) return it->second;
+    const int s = static_cast<int>(k.labels.size());
+    const Symbol act_label = (a == 0) ? options.epsilon_label : a;
+    k.labels.push_back(model.label(p) | act_label);
+    k.successors.emplace_back();
+    k.origin.push_back({p, q, a});
+    index.emplace(key, s);
+    return s;
+  };
+
+  // Seed: all (p, q0, a) with a enabled in (q0, λ_M(p)).
+  std::vector<int> frontier;
+  for (std::size_t p = 0; p < model.state_count(); ++p) {
+    const auto pid = static_cast<ModelStateId>(p);
+    for (const ControllerMove& mv :
+         ctrl.moves(ctrl.initial(), model.label(pid))) {
+      const int s = get_state(pid, ctrl.initial(), mv.action);
+      k.initial.push_back(s);
+      frontier.push_back(s);
+    }
+  }
+  // Deduplicate initial states (several moves can share an action).
+  std::sort(k.initial.begin(), k.initial.end());
+  k.initial.erase(std::unique(k.initial.begin(), k.initial.end()),
+                  k.initial.end());
+  std::sort(frontier.begin(), frontier.end());
+  frontier.erase(std::unique(frontier.begin(), frontier.end()),
+                 frontier.end());
+
+  // BFS expansion of the reachable product.
+  for (std::size_t i = 0; i < frontier.size(); ++i) {
+    const int s = frontier[i];
+    const KripkeState ks = k.origin[static_cast<std::size_t>(s)];
+    const Symbol sigma = model.label(ks.model_state);
+
+    // Controller successors reachable by emitting ks.action under σ.
+    std::vector<CtrlStateId> ctrl_targets;
+    for (const ControllerMove& mv : ctrl.moves(ks.ctrl_state, sigma)) {
+      if (mv.action != ks.action) continue;
+      ctrl_targets.push_back(mv.to);
+    }
+    DPOAF_DCHECK(!ctrl_targets.empty());
+
+    for (ModelStateId p2 : model.successors(ks.model_state)) {
+      for (CtrlStateId q2 : ctrl_targets) {
+        for (const ControllerMove& mv2 : ctrl.moves(q2, model.label(p2))) {
+          const std::size_t before = k.labels.size();
+          const int t = get_state(p2, q2, mv2.action);
+          auto& out = k.successors[static_cast<std::size_t>(s)];
+          if (std::find(out.begin(), out.end(), t) == out.end())
+            out.push_back(t);
+          if (k.labels.size() > before) frontier.push_back(t);
+        }
+      }
+    }
+  }
+
+  if (options.stutter_deadlocks) {
+    for (std::size_t s = 0; s < k.successors.size(); ++s)
+      if (k.successors[s].empty())
+        k.successors[s].push_back(static_cast<int>(s));
+  }
+  return k;
+}
+
+}  // namespace dpoaf::automata

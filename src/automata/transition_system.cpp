@@ -1,0 +1,118 @@
+#include "automata/transition_system.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+
+namespace dpoaf::automata {
+
+ModelStateId TransitionSystem::add_state(Symbol label, std::string name) {
+  labels_.push_back(label);
+  if (name.empty()) {
+    name = "p";
+    name += std::to_string(labels_.size() - 1);
+  }
+  names_.push_back(std::move(name));
+  succ_.emplace_back();
+  return static_cast<ModelStateId>(labels_.size() - 1);
+}
+
+void TransitionSystem::add_transition(ModelStateId from, ModelStateId to) {
+  DPOAF_CHECK(from >= 0 && static_cast<std::size_t>(from) < labels_.size());
+  DPOAF_CHECK(to >= 0 && static_cast<std::size_t>(to) < labels_.size());
+  auto& out = succ_[static_cast<std::size_t>(from)];
+  if (std::find(out.begin(), out.end(), to) == out.end()) out.push_back(to);
+}
+
+Symbol TransitionSystem::label(ModelStateId p) const {
+  DPOAF_CHECK(p >= 0 && static_cast<std::size_t>(p) < labels_.size());
+  return labels_[static_cast<std::size_t>(p)];
+}
+
+const std::string& TransitionSystem::name(ModelStateId p) const {
+  DPOAF_CHECK(p >= 0 && static_cast<std::size_t>(p) < names_.size());
+  return names_[static_cast<std::size_t>(p)];
+}
+
+const std::vector<ModelStateId>& TransitionSystem::successors(
+    ModelStateId p) const {
+  DPOAF_CHECK(p >= 0 && static_cast<std::size_t>(p) < succ_.size());
+  return succ_[static_cast<std::size_t>(p)];
+}
+
+bool TransitionSystem::has_transition(ModelStateId from,
+                                      ModelStateId to) const {
+  const auto& out = successors(from);
+  return std::find(out.begin(), out.end(), to) != out.end();
+}
+
+std::size_t TransitionSystem::transition_count() const {
+  std::size_t n = 0;
+  for (const auto& out : succ_) n += out.size();
+  return n;
+}
+
+std::vector<ModelStateId> TransitionSystem::deadlock_states() const {
+  std::vector<ModelStateId> out;
+  for (std::size_t p = 0; p < succ_.size(); ++p)
+    if (succ_[p].empty()) out.push_back(static_cast<ModelStateId>(p));
+  return out;
+}
+
+ModelStateId TransitionSystem::integrate(const TransitionSystem& other) {
+  const auto offset = static_cast<ModelStateId>(labels_.size());
+  for (std::size_t p = 0; p < other.labels_.size(); ++p)
+    add_state(other.labels_[p], other.names_[p]);
+  for (std::size_t p = 0; p < other.succ_.size(); ++p)
+    for (ModelStateId q : other.succ_[p])
+      add_transition(static_cast<ModelStateId>(p) + offset, q + offset);
+  return offset;
+}
+
+TransitionSystem TransitionSystem::from_predicate(
+    const std::vector<int>& prop_indices,
+    const std::function<bool(Symbol, Symbol)>& allowed, bool conservative) {
+  DPOAF_CHECK_MSG(prop_indices.size() <= 20,
+                  "Algorithm 1 enumerates 2^|P| states; |P| capped at 20");
+  const std::size_t n_states = std::size_t{1} << prop_indices.size();
+
+  // Build one state per subset of the propositions.
+  std::vector<Symbol> labels(n_states, 0);
+  for (std::size_t mask = 0; mask < n_states; ++mask) {
+    Symbol sym = 0;
+    for (std::size_t b = 0; b < prop_indices.size(); ++b)
+      if ((mask >> b) & 1U) sym |= Vocabulary::bit(prop_indices[b]);
+    labels[mask] = sym;
+  }
+
+  // Connect every allowed pair, tracking degree for pruning.
+  std::vector<std::vector<ModelStateId>> succ(n_states);
+  std::vector<bool> touched(n_states, false);
+  for (std::size_t i = 0; i < n_states; ++i) {
+    for (std::size_t j = 0; j < n_states; ++j) {
+      if (!allowed(labels[i], labels[j])) continue;
+      succ[i].push_back(static_cast<ModelStateId>(j));
+      touched[i] = true;
+      touched[j] = true;
+    }
+  }
+
+  // Q_M := Q_M \ {p_i | no incoming and no outgoing transitions}, unless the
+  // caller asked for the conservative (no-pruning) variant.
+  TransitionSystem ts;
+  std::vector<ModelStateId> remap(n_states, -1);
+  for (std::size_t i = 0; i < n_states; ++i) {
+    if (!conservative && !touched[i]) continue;
+    remap[i] = ts.add_state(labels[i]);
+  }
+  for (std::size_t i = 0; i < n_states; ++i) {
+    if (remap[i] < 0) continue;
+    for (ModelStateId j : succ[i]) {
+      if (remap[static_cast<std::size_t>(j)] < 0) continue;
+      ts.add_transition(remap[i], remap[static_cast<std::size_t>(j)]);
+    }
+  }
+  return ts;
+}
+
+}  // namespace dpoaf::automata

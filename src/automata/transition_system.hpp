@@ -1,0 +1,62 @@
+// Automaton-based world model M = ⟨Γ_M, Q_M, δ_M, λ_M⟩ (paper §3): a
+// transition system whose states are labeled with symbols σ ∈ 2^P and whose
+// non-deterministic transition relation captures the environment dynamics
+// the autonomous vehicle can perceive (traffic lights cycling, cars and
+// pedestrians appearing/clearing, ...).
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "logic/vocabulary.hpp"
+
+namespace dpoaf::automata {
+
+using logic::Symbol;
+using logic::Vocabulary;
+
+using ModelStateId = int;
+
+class TransitionSystem {
+ public:
+  /// Add a state with label σ (its λ_M value) and a diagnostic name.
+  ModelStateId add_state(Symbol label, std::string name = "");
+
+  /// Add δ_M(from, to) = 1. Duplicate additions are ignored.
+  void add_transition(ModelStateId from, ModelStateId to);
+
+  [[nodiscard]] std::size_t state_count() const { return labels_.size(); }
+  [[nodiscard]] Symbol label(ModelStateId p) const;
+  [[nodiscard]] const std::string& name(ModelStateId p) const;
+  [[nodiscard]] const std::vector<ModelStateId>& successors(
+      ModelStateId p) const;
+  [[nodiscard]] bool has_transition(ModelStateId from, ModelStateId to) const;
+  [[nodiscard]] std::size_t transition_count() const;
+
+  /// States with no outgoing transition (verification treats these as
+  /// stuttering; the driving models are built without any).
+  [[nodiscard]] std::vector<ModelStateId> deadlock_states() const;
+
+  /// Disjoint union with `other` (the paper "integrates" per-scenario
+  /// models into one universal model; initial states of the product range
+  /// over every model state, so a disjoint union verifies the controller in
+  /// every scenario at once). Returns the index offset of `other`'s states.
+  ModelStateId integrate(const TransitionSystem& other);
+
+  /// Algorithm 1 (paper §4.1): enumerate all 2^|props| labelings over the
+  /// given proposition indices, connect (p_i, p_j) whenever
+  /// `allowed(label_i, label_j)`, and — unless `conservative` — remove
+  /// states with no incoming and no outgoing transition.
+  static TransitionSystem from_predicate(
+      const std::vector<int>& prop_indices,
+      const std::function<bool(Symbol, Symbol)>& allowed,
+      bool conservative = false);
+
+ private:
+  std::vector<Symbol> labels_;
+  std::vector<std::string> names_;
+  std::vector<std::vector<ModelStateId>> succ_;
+};
+
+}  // namespace dpoaf::automata

@@ -1,0 +1,144 @@
+#include "core/pipeline.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+
+namespace dpoaf::core {
+
+DpoAfPipeline::DpoAfPipeline(PipelineConfig config)
+    : config_(config),
+      tokenizer_(lm::build_tokenizer(domain_.tasks())),
+      rng_(config.seed) {
+  nn::GptConfig gpt_cfg;
+  gpt_cfg.vocab_size = static_cast<std::int64_t>(tokenizer_.vocab_size());
+  gpt_cfg.d_model = config_.d_model;
+  gpt_cfg.n_heads = config_.n_heads;
+  gpt_cfg.n_layers = config_.n_layers;
+  gpt_cfg.d_ff = config_.d_ff;
+  // Size the context to the longest catalog sequence plus slack for
+  // sampled responses.
+  std::int64_t longest = 0;
+  for (const auto& task : domain_.tasks())
+    for (const auto& variant : task.variants)
+      longest = std::max(
+          longest, static_cast<std::int64_t>(
+                       lm::encode_example(tokenizer_, task.prompt,
+                                          variant.text)
+                           .size()));
+  gpt_cfg.max_seq = longest + 16;
+  model_ = TinyGpt(gpt_cfg, rng_);
+}
+
+lm::PretrainStats DpoAfPipeline::pretrain_model() {
+  const auto corpus =
+      lm::build_corpus(domain_.tasks(), tokenizer_,
+                       config_.corpus_samples_per_task,
+                       config_.corpus_weights, rng_);
+  auto stats = lm::pretrain(model_, corpus, config_.pretrain, rng_);
+  pretrained_ = true;
+  return stats;
+}
+
+int DpoAfPipeline::score_response(const driving::Task& task,
+                                  const std::string& response_text) const {
+  return driving::formal_feedback(domain_, task.scenario, response_text)
+      .score();
+}
+
+std::vector<TaskCandidates> DpoAfPipeline::collect_candidates() {
+  DPOAF_CHECK_MSG(pretrained_ || config_.candidates_from_catalog,
+                  "call pretrain_model() before sampling candidates");
+  std::vector<TaskCandidates> out;
+  for (const auto& task : domain_.tasks()) {
+    if (!task.training) continue;  // pairs come from training tasks only
+    TaskCandidates tc;
+    tc.task_id = task.id;
+    if (config_.candidates_from_catalog) {
+      for (const auto& variant : task.variants)
+        tc.candidates.push_back(
+            {variant.text, score_response(task, variant.text)});
+    } else {
+      const auto responses =
+          lm::sample_responses(model_, tokenizer_, task.prompt,
+                               config_.responses_per_task, config_.sampler,
+                               rng_);
+      for (const auto& response : responses)
+        tc.candidates.push_back({response, score_response(task, response)});
+    }
+    out.push_back(std::move(tc));
+  }
+  return out;
+}
+
+std::vector<dpo::PreferencePair> DpoAfPipeline::build_pairs(
+    const std::vector<TaskCandidates>& candidates) const {
+  std::vector<dpo::PreferencePair> pairs;
+  for (const auto& tc : candidates) {
+    const auto& task = domain_.task_by_id(tc.task_id);
+    const auto task_pairs = dpo::build_preference_pairs(
+        task.id, task.prompt, tc.candidates, tokenizer_,
+        model_.config().max_seq);
+    pairs.insert(pairs.end(), task_pairs.begin(), task_pairs.end());
+  }
+  return pairs;
+}
+
+CheckpointEval DpoAfPipeline::evaluate_model(const TinyGpt& model,
+                                             int epoch) const {
+  CheckpointEval eval;
+  eval.epoch = epoch;
+  // Deterministic per (seed, epoch) so evaluation noise is shared across
+  // configurations being compared.
+  Rng eval_rng(config_.seed * 0x9E3779B9ULL + static_cast<std::uint64_t>(epoch));
+  lm::SamplerConfig sampler;
+  sampler.temperature = config_.eval_temperature;
+  sampler.top_k = config_.eval_top_k;
+  sampler.max_new_tokens = config_.eval_max_new_tokens;
+
+  double train_sum = 0.0, val_sum = 0.0;
+  std::size_t train_n = 0, val_n = 0;
+  for (const auto& task : domain_.tasks()) {
+    const auto responses =
+        lm::sample_responses(model, tokenizer_, task.prompt,
+                             config_.eval_samples_per_task, sampler, eval_rng);
+    double score_sum = 0.0;
+    for (const auto& response : responses)
+      score_sum += std::max(0, score_response(task, response));
+    const double score =
+        score_sum / static_cast<double>(responses.size());
+    eval.per_task.emplace_back(task.id, score);
+    if (task.training) {
+      train_sum += score;
+      ++train_n;
+    } else {
+      val_sum += score;
+      ++val_n;
+    }
+  }
+  if (train_n > 0) eval.train_mean_satisfied = train_sum / static_cast<double>(train_n);
+  if (val_n > 0) eval.val_mean_satisfied = val_sum / static_cast<double>(val_n);
+  return eval;
+}
+
+RunResult DpoAfPipeline::run_dpo(
+    const std::vector<dpo::PreferencePair>& pairs) {
+  RunResult result;
+  result.pair_count = pairs.size();
+  dpo::DpoTrainer trainer(model_.clone(), config_.dpo, rng_);
+  result.metrics = trainer.train(
+      pairs, [this, &result](int epoch, const TinyGpt& policy) {
+        result.checkpoints.push_back(evaluate_model(policy, epoch));
+      });
+  model_ = trainer.policy().clone();
+  return result;
+}
+
+RunResult DpoAfPipeline::run() {
+  if (!pretrained_) pretrain_model();
+  const auto candidates = collect_candidates();
+  const auto pairs = build_pairs(candidates);
+  return run_dpo(pairs);
+}
+
+}  // namespace dpoaf::core

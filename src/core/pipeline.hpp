@@ -1,0 +1,128 @@
+// DpoAfPipeline — the paper's contribution, end to end (Figure 2):
+//
+//   1. pre-train the language model on the synthetic driving corpus
+//      (stand-in for the generic pre-trained Llama2-7B);
+//   2. query it for m responses per control task;
+//   3. construct an automaton-based controller from each response
+//      (GLM2FSA), implement it in the scenario's world model, and verify
+//      against the 15-specification rulebook — the automated feedback;
+//   4. rank responses by specifications satisfied and build (x, y_w, y_l)
+//      preference pairs;
+//   5. fine-tune with DPO (LoRA-restricted), checkpointing every 20 epochs;
+//   6. evaluate each checkpoint by re-querying the model on training and
+//      held-out validation tasks and counting satisfied specifications
+//      (Figure 9).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "dpo/trainer.hpp"
+#include "driving/domain.hpp"
+#include "lm/pretrain.hpp"
+
+namespace dpoaf::core {
+
+using driving::DrivingDomain;
+using nn::TinyGpt;
+using nn::Tokenizer;
+
+struct PipelineConfig {
+  std::uint64_t seed = 1;
+
+  // Model size (vocab is derived from the corpus).
+  std::int64_t d_model = 48;
+  std::int64_t n_heads = 4;
+  std::int64_t n_layers = 2;
+  std::int64_t d_ff = 192;
+
+  // Stage 1: pre-training corpus and loop.
+  int corpus_samples_per_task = 40;
+  lm::VariantWeights corpus_weights;
+  lm::PretrainConfig pretrain;
+
+  // Stage 2: sampling the pre-trained model.
+  int responses_per_task = 16;  // m
+  lm::SamplerConfig sampler;
+  /// If true, use the catalog's variant texts as the candidate pool
+  /// instead of sampling the LM (deterministic; used by fast benches —
+  /// the paper's unlimited automated feedback makes the candidate source
+  /// interchangeable).
+  bool candidates_from_catalog = false;
+
+  // Stage 5: DPO.
+  dpo::DpoConfig dpo;
+
+  // Checkpoint evaluation: sample this many responses per task at the
+  // given temperature and average the per-response specification counts
+  // (an unalignable response counts 0). Deterministic per (seed, epoch).
+  int eval_samples_per_task = 10;
+  float eval_temperature = 0.7f;
+  int eval_top_k = 6;
+  int eval_max_new_tokens = 72;
+};
+
+/// Per-checkpoint formal-verification evaluation (Figure 9's y-axis).
+struct CheckpointEval {
+  int epoch = 0;
+  double train_mean_satisfied = 0.0;  // mean over training tasks, of 15
+  double val_mean_satisfied = 0.0;    // mean over validation tasks, of 15
+  std::vector<std::pair<std::string, double>> per_task;
+};
+
+struct TaskCandidates {
+  std::string task_id;
+  std::vector<dpo::Candidate> candidates;  // text + verification score
+};
+
+struct RunResult {
+  std::vector<dpo::EpochMetrics> metrics;     // Figure 8 series
+  std::vector<CheckpointEval> checkpoints;    // Figure 9 series
+  std::size_t pair_count = 0;
+};
+
+class DpoAfPipeline {
+ public:
+  explicit DpoAfPipeline(PipelineConfig config);
+
+  [[nodiscard]] const DrivingDomain& domain() const { return domain_; }
+  [[nodiscard]] const Tokenizer& tokenizer() const { return tokenizer_; }
+  [[nodiscard]] const PipelineConfig& config() const { return config_; }
+
+  /// Stage 1. Returns per-epoch pre-training losses.
+  lm::PretrainStats pretrain_model();
+  [[nodiscard]] const TinyGpt& model() const { return model_; }
+
+  /// Stages 2–3: sample m responses per training task and score each via
+  /// formal verification.
+  [[nodiscard]] std::vector<TaskCandidates> collect_candidates();
+
+  /// Stage 4: all strictly-ordered preference pairs.
+  [[nodiscard]] std::vector<dpo::PreferencePair> build_pairs(
+      const std::vector<TaskCandidates>& candidates) const;
+
+  /// Stages 5–6: DPO fine-tuning with formal-verification checkpoint
+  /// evaluation. Leaves the fine-tuned policy accessible via model().
+  RunResult run_dpo(const std::vector<dpo::PreferencePair>& pairs);
+
+  /// Convenience: run all stages and return the result.
+  RunResult run();
+
+  /// Verification score of one response for a task (−1 ⇒ unalignable).
+  [[nodiscard]] int score_response(const driving::Task& task,
+                                   const std::string& response_text) const;
+
+  /// Greedy-decode every task and verify (one Figure-9 data point).
+  [[nodiscard]] CheckpointEval evaluate_model(const TinyGpt& model,
+                                              int epoch) const;
+
+ private:
+  PipelineConfig config_;
+  DrivingDomain domain_;
+  Tokenizer tokenizer_;
+  Rng rng_;
+  TinyGpt model_;
+  bool pretrained_ = false;
+};
+
+}  // namespace dpoaf::core

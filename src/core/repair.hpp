@@ -1,0 +1,44 @@
+// Counterexample-guided controller repair — the refinement-loop baseline
+// from the paper's related work ("other methods iteratively refine …
+// based on counter-examples until the outputs pass formal verification",
+// Jha et al. 2023). Instead of fine-tuning the language model, this
+// baseline patches the *controller*: for every violated safety
+// specification □ψ (ψ propositional), the counter-example pinpoints a
+// product state whose emitted action falsifies ψ; the transition that
+// emitted it gets its guard strengthened by one environment literal that
+// restores ψ. The loop repeats until every repairable specification holds
+// or no further strengthening applies.
+//
+// The ablation bench compares this per-response patching against DPO-AF:
+// repair fixes one controller at a time and cannot improve the language
+// model itself, which is precisely the gap the paper's method fills.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "driving/domain.hpp"
+
+namespace dpoaf::core {
+
+struct RepairResult {
+  automata::FsaController controller;  // the repaired controller
+  int score_before = 0;                // specs satisfied before repair
+  int score_after = 0;                 // specs satisfied after repair
+  int iterations = 0;                  // outer verify-repair rounds used
+  std::vector<std::string> patched_specs;  // specs that triggered a patch
+};
+
+struct RepairOptions {
+  int max_iterations = 8;
+};
+
+/// Repair `controller` against the domain's rulebook within `scenario`.
+/// Only safety specifications of the form □ψ with propositional ψ are
+/// candidates; liveness violations are left to fine-tuning.
+RepairResult repair_controller(const driving::DrivingDomain& domain,
+                               driving::ScenarioId scenario,
+                               automata::FsaController controller,
+                               const RepairOptions& options = {});
+
+}  // namespace dpoaf::core

@@ -1,0 +1,56 @@
+#include "dpo/dataset.hpp"
+
+#include <algorithm>
+
+#include "lm/corpus.hpp"
+#include "util/check.hpp"
+
+namespace dpoaf::dpo {
+
+std::vector<PreferencePair> build_preference_pairs(
+    const std::string& task_id, const std::string& task_prompt,
+    const std::vector<Candidate>& candidates, const nn::Tokenizer& tok,
+    std::int64_t max_seq, std::size_t* dropped) {
+  // Deduplicate by text, keeping the first occurrence's score.
+  std::vector<Candidate> unique;
+  for (const Candidate& c : candidates) {
+    const bool seen =
+        std::any_of(unique.begin(), unique.end(),
+                    [&c](const Candidate& u) { return u.text == c.text; });
+    if (!seen) unique.push_back(c);
+  }
+
+  const std::vector<int> prompt_ids = lm::encode_prompt(tok, task_prompt);
+  const auto prompt_len = static_cast<std::int64_t>(prompt_ids.size());
+
+  // Pre-encode every candidate once.
+  std::vector<std::vector<int>> encoded;
+  encoded.reserve(unique.size());
+  for (const Candidate& c : unique)
+    encoded.push_back(lm::encode_example(tok, task_prompt, c.text));
+
+  std::vector<PreferencePair> pairs;
+  for (std::size_t i = 0; i < unique.size(); ++i) {
+    for (std::size_t j = i + 1; j < unique.size(); ++j) {
+      if (unique[i].score == unique[j].score) continue;
+      const std::size_t w = unique[i].score > unique[j].score ? i : j;
+      const std::size_t l = w == i ? j : i;
+      if (static_cast<std::int64_t>(encoded[w].size()) > max_seq ||
+          static_cast<std::int64_t>(encoded[l].size()) > max_seq) {
+        if (dropped != nullptr) ++*dropped;
+        continue;
+      }
+      PreferencePair pair;
+      pair.task_id = task_id;
+      pair.chosen = encoded[w];
+      pair.rejected = encoded[l];
+      pair.prompt_len = prompt_len;
+      pair.score_chosen = unique[w].score;
+      pair.score_rejected = unique[l].score;
+      pairs.push_back(std::move(pair));
+    }
+  }
+  return pairs;
+}
+
+}  // namespace dpoaf::dpo

@@ -1,0 +1,38 @@
+// Preference-pair dataset construction (paper §4.3): every two responses
+// to the same prompt whose verification scores differ strictly yield one
+// data point (x, y_w, y_l) — up to N·C₂(m) points for N tasks and m
+// responses per task. Scores come from the automated feedback channel
+// (number of satisfied specifications; −1 for unalignable responses).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "nn/tokenizer.hpp"
+
+namespace dpoaf::dpo {
+
+/// One candidate response and its verification score.
+struct Candidate {
+  std::string text;
+  int score = 0;
+};
+
+struct PreferencePair {
+  std::string task_id;
+  std::vector<int> chosen;    // full sequence: prompt + y_w + </s>
+  std::vector<int> rejected;  // full sequence: prompt + y_l + </s>
+  std::int64_t prompt_len = 0;
+  int score_chosen = 0;
+  int score_rejected = 0;
+};
+
+/// Build all strictly-ordered pairs from one task's candidates. Sequences
+/// longer than `max_seq` tokens are skipped (with the skip counted in
+/// `dropped`, if given). Duplicate candidate texts are deduplicated first.
+std::vector<PreferencePair> build_preference_pairs(
+    const std::string& task_id, const std::string& task_prompt,
+    const std::vector<Candidate>& candidates, const nn::Tokenizer& tok,
+    std::int64_t max_seq, std::size_t* dropped = nullptr);
+
+}  // namespace dpoaf::dpo

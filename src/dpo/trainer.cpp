@@ -1,0 +1,115 @@
+#include "dpo/trainer.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "nn/optim.hpp"
+#include "tensor/ops.hpp"
+#include "util/check.hpp"
+
+namespace dpoaf::dpo {
+
+namespace ops = tensor::ops;
+using tensor::Tape;
+using tensor::Tensor;
+
+DpoTrainer::DpoTrainer(TinyGpt policy, DpoConfig config, Rng& rng)
+    : policy_(std::move(policy)), config_(config), rng_(rng.split()) {
+  // Reference = frozen snapshot of the pre-trained policy (before LoRA, so
+  // cloning stays cheap; LoRA starts as the identity update anyway).
+  reference_ = policy_.clone();
+  if (config_.lora_rank > 0 && !policy_.lora_enabled())
+    policy_.enable_lora(config_.lora_rank, config_.lora_alpha, rng_);
+}
+
+std::vector<EpochMetrics> DpoTrainer::train(
+    const std::vector<PreferencePair>& pairs, const CheckpointHook& hook) {
+  DPOAF_CHECK_MSG(!pairs.empty(), "DPO requires at least one pair");
+  DPOAF_CHECK(config_.batch_size > 0);
+
+  // The reference model is frozen: its per-pair log-probabilities are
+  // computed once up front (this is what makes long runs affordable).
+  std::vector<float> ref_w(pairs.size());
+  std::vector<float> ref_l(pairs.size());
+  for (std::size_t i = 0; i < pairs.size(); ++i) {
+    ref_w[i] = static_cast<float>(reference_.response_log_prob_value(
+        pairs[i].chosen, pairs[i].prompt_len));
+    ref_l[i] = static_cast<float>(reference_.response_log_prob_value(
+        pairs[i].rejected, pairs[i].prompt_len));
+  }
+
+  nn::AdamWConfig opt_cfg;
+  opt_cfg.lr = config_.lr;
+  nn::AdamW opt(policy_.trainable_parameters(), opt_cfg);
+
+  std::vector<std::size_t> order(pairs.size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+
+  std::vector<EpochMetrics> history;
+  if (hook) hook(0, policy_);
+
+  for (int epoch = 1; epoch <= config_.epochs; ++epoch) {
+    rng_.shuffle(order);
+    std::size_t epoch_pairs = order.size();
+    if (config_.pairs_per_epoch > 0)
+      epoch_pairs = std::min(
+          epoch_pairs, static_cast<std::size_t>(config_.pairs_per_epoch));
+
+    EpochMetrics metrics;
+    metrics.epoch = epoch;
+    std::size_t i = 0;
+    while (i < epoch_pairs) {
+      const std::size_t batch_end = std::min(
+          epoch_pairs, i + static_cast<std::size_t>(config_.batch_size));
+      const auto n_in_batch = static_cast<float>(batch_end - i);
+      Tape tape;
+      Tensor batch_loss;
+      bool first = true;
+      for (; i < batch_end; ++i) {
+        const PreferencePair& pair = pairs[order[i]];
+        Tensor lp_w =
+            policy_.response_log_prob(&tape, pair.chosen, pair.prompt_len);
+        Tensor lp_l =
+            policy_.response_log_prob(&tape, pair.rejected, pair.prompt_len);
+        const float ref_delta = ref_w[order[i]] - ref_l[order[i]];
+        // z = (lp_w − lp_l) − (ref_w − ref_l);  loss = softplus(−β z)
+        Tensor z = ops::add(&tape, ops::sub(&tape, lp_w, lp_l),
+                            Tensor::full({1, 1}, -ref_delta));
+        Tensor loss =
+            ops::softplus(&tape, ops::scale(&tape, z, -config_.beta));
+        // Figure 8 reports the DPO loss proper, before the anchor term.
+        metrics.loss += loss.item();
+        if (config_.nll_coef > 0.0f) {
+          // Anchor: keep the chosen response likely in absolute terms
+          // (mean per-token NLL over its response region).
+          const auto resp_tokens = static_cast<float>(
+              pair.chosen.size() - static_cast<std::size_t>(pair.prompt_len));
+          Tensor nll = ops::scale(&tape, lp_w,
+                                  -config_.nll_coef / resp_tokens);
+          loss = ops::add(&tape, loss, nll);
+        }
+
+        metrics.accuracy += lp_w.item() > lp_l.item() ? 1.0 : 0.0;
+        metrics.margin += static_cast<double>(z.item());
+
+        Tensor scaled = ops::scale(&tape, loss, 1.0f / n_in_batch);
+        batch_loss = first ? scaled : ops::add(&tape, batch_loss, scaled);
+        first = false;
+      }
+      opt.zero_grad();
+      tape.backward(batch_loss);
+      opt.step();
+    }
+    metrics.loss /= static_cast<double>(epoch_pairs);
+    metrics.accuracy /= static_cast<double>(epoch_pairs);
+    metrics.margin /= static_cast<double>(epoch_pairs);
+    history.push_back(metrics);
+
+    if (hook && (epoch % config_.checkpoint_every == 0 ||
+                 epoch == config_.epochs))
+      hook(epoch, policy_);
+  }
+  return history;
+}
+
+}  // namespace dpoaf::dpo

@@ -1,0 +1,76 @@
+// Direct preference optimization (Rafailov et al. 2023) with LoRA-restricted
+// updates — the fine-tuning stage of the paper's DPO-AF pipeline (§4.3).
+//
+// Loss per pair:  −log σ( β·[(log πθ(y_w|x) − log π_ref(y_w|x))
+//                          −(log πθ(y_l|x) − log π_ref(y_l|x))] )
+//
+// Metrics match Figure 8:
+//  * loss      — the mean DPO loss,
+//  * accuracy  — mean 1[log πθ(y_w|x) > log πθ(y_l|x)],
+//  * margin    — mean of the bracketed reward difference ("marginal
+//                preference": 0 = indifferent, >0 = favours y_w).
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "dpo/dataset.hpp"
+#include "nn/gpt.hpp"
+
+namespace dpoaf::dpo {
+
+using nn::TinyGpt;
+
+struct DpoConfig {
+  float beta = 1.0f;
+  float lr = 5e-4f;
+  /// Weight of an auxiliary next-token NLL term on the *chosen* response
+  /// (RPO-style anchor). At 7B scale this is optional; at this library's
+  /// tiny scale it is what keeps generations coherent once the preference
+  /// margin saturates (see EXPERIMENTS.md). 0 disables.
+  float nll_coef = 0.2f;
+  int epochs = 100;
+  int batch_size = 8;
+  /// Train on a random subsample of this many pairs each epoch (0 = all).
+  int pairs_per_epoch = 0;
+  /// LoRA adapter rank/alpha; rank 0 trains all parameters instead.
+  std::int64_t lora_rank = 4;
+  float lora_alpha = 8.0f;
+  /// Invoke the checkpoint hook every this many epochs (paper: 20).
+  int checkpoint_every = 20;
+};
+
+struct EpochMetrics {
+  int epoch = 0;
+  double loss = 0.0;
+  double accuracy = 0.0;
+  double margin = 0.0;
+};
+
+/// Called with (epoch, policy) at epoch 0, every checkpoint_every epochs,
+/// and after the final epoch.
+using CheckpointHook = std::function<void(int, const TinyGpt&)>;
+
+class DpoTrainer {
+ public:
+  /// Takes ownership of a policy initialized from the pre-trained model.
+  /// The frozen reference model is an internal clone of `policy` made
+  /// before any update; LoRA adapters are attached here (per config).
+  DpoTrainer(TinyGpt policy, DpoConfig config, Rng& rng);
+
+  /// Run DPO over the pairs; returns one metrics row per epoch.
+  std::vector<EpochMetrics> train(const std::vector<PreferencePair>& pairs,
+                                  const CheckpointHook& hook = {});
+
+  [[nodiscard]] const TinyGpt& policy() const { return policy_; }
+  [[nodiscard]] const TinyGpt& reference() const { return reference_; }
+  [[nodiscard]] const DpoConfig& config() const { return config_; }
+
+ private:
+  TinyGpt policy_;
+  TinyGpt reference_;
+  DpoConfig config_;
+  Rng rng_;
+};
+
+}  // namespace dpoaf::dpo

@@ -1,0 +1,73 @@
+#include "driving/domain.hpp"
+
+#include "automata/product.hpp"
+#include "util/check.hpp"
+
+namespace dpoaf::driving {
+
+DrivingDomain::DrivingDomain()
+    : vocab_(logic::make_driving_vocabulary()),
+      aligner_(glm2fsa::make_driving_aligner(vocab_)),
+      specs_(rulebook(vocab_)),
+      tasks_(task_catalog()) {
+  for (ScenarioId id : all_scenarios()) {
+    models_.emplace(id, make_scenario_model(id, vocab_));
+    fairness_.emplace(id, fairness_assumptions(id, vocab_));
+  }
+  universal_ = make_universal_model(vocab_);
+  stop_action_ = logic::Vocabulary::bit(*vocab_.find("stop"));
+}
+
+const TransitionSystem& DrivingDomain::model(ScenarioId id) const {
+  const auto it = models_.find(id);
+  DPOAF_CHECK(it != models_.end());
+  return it->second;
+}
+
+const std::vector<logic::Ltl>& DrivingDomain::fairness(ScenarioId id) const {
+  const auto it = fairness_.find(id);
+  DPOAF_CHECK(it != fairness_.end());
+  return it->second;
+}
+
+glm2fsa::BuildOptions DrivingDomain::build_options() const {
+  glm2fsa::BuildOptions opt;
+  opt.wait_action = stop_action_;
+  return opt;
+}
+
+automata::ProductOptions DrivingDomain::product_options() const {
+  automata::ProductOptions opt;
+  opt.epsilon_label = stop_action_;
+  return opt;
+}
+
+const Task& DrivingDomain::task_by_id(std::string_view id) const {
+  for (const Task& t : tasks_)
+    if (t.id == id) return t;
+  DPOAF_CHECK_MSG(false, "unknown task id: " + std::string(id));
+  // Unreachable; silences the missing-return warning.
+  return tasks_.front();
+}
+
+FeedbackResult formal_feedback(const DrivingDomain& domain,
+                               ScenarioId scenario,
+                               std::string_view response_text) {
+  FeedbackResult result;
+  auto g2f = glm2fsa::glm2fsa(response_text, domain.aligner(),
+                              domain.build_options());
+  result.issues = g2f.parsed.issues;
+  if (!g2f.parsed.ok()) {
+    result.aligned = false;
+    return result;
+  }
+  result.aligned = true;
+  result.controller = std::move(g2f.controller);
+  const automata::Kripke product = automata::make_product(
+      domain.model(scenario), result.controller, domain.product_options());
+  result.report = modelcheck::verify_all(product, domain.specs(),
+                                         domain.fairness(scenario));
+  return result;
+}
+
+}  // namespace dpoaf::driving

@@ -1,0 +1,78 @@
+// DrivingDomain — the assembled autonomous-driving system: vocabulary,
+// aligner lexicon, scenario models with fairness assumptions, the 15-spec
+// rulebook, and the task catalog. Also hosts `formal_feedback`, the paper's
+// automated feedback channel (§4.2, Formal Verification): response text →
+// GLM2FSA controller → product with the task's scenario model → count of
+// satisfied specifications.
+#pragma once
+
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "driving/scenarios.hpp"
+#include "driving/specs.hpp"
+#include "driving/tasks.hpp"
+#include "glm2fsa/builder.hpp"
+#include "modelcheck/checker.hpp"
+
+namespace dpoaf::driving {
+
+using glm2fsa::PhraseAligner;
+using logic::Symbol;
+using modelcheck::VerificationReport;
+
+class DrivingDomain {
+ public:
+  DrivingDomain();
+
+  [[nodiscard]] const logic::Vocabulary& vocab() const { return vocab_; }
+  [[nodiscard]] const PhraseAligner& aligner() const { return aligner_; }
+  [[nodiscard]] const std::vector<NamedSpec>& specs() const { return specs_; }
+  [[nodiscard]] const std::vector<Task>& tasks() const { return tasks_; }
+  [[nodiscard]] const TransitionSystem& model(ScenarioId id) const;
+  [[nodiscard]] const std::vector<logic::Ltl>& fairness(ScenarioId id) const;
+  [[nodiscard]] const TransitionSystem& universal_model() const {
+    return universal_;
+  }
+  /// The {stop} action symbol — emitted while waiting/observing.
+  [[nodiscard]] Symbol stop_action() const { return stop_action_; }
+  [[nodiscard]] glm2fsa::BuildOptions build_options() const;
+  [[nodiscard]] automata::ProductOptions product_options() const;
+
+  [[nodiscard]] const Task& task_by_id(std::string_view id) const;
+
+ private:
+  logic::Vocabulary vocab_;
+  PhraseAligner aligner_;
+  std::vector<NamedSpec> specs_;
+  std::vector<Task> tasks_;
+  std::map<ScenarioId, TransitionSystem> models_;
+  std::map<ScenarioId, std::vector<logic::Ltl>> fairness_;
+  TransitionSystem universal_;
+  Symbol stop_action_ = 0;
+};
+
+/// Outcome of the automated-feedback pipeline on one response.
+struct FeedbackResult {
+  bool aligned = false;        // GLM2FSA parse/alignment succeeded
+  std::vector<glm2fsa::ParseIssue> issues;  // why alignment failed
+  VerificationReport report;   // valid when aligned
+  automata::FsaController controller;  // valid when aligned
+
+  /// Ranking score: number of satisfied specifications, with alignment
+  /// failures ranked strictly below every verifiable response (the
+  /// fine-tuning explicitly also targets alignability, §4.1 property 1).
+  [[nodiscard]] int score() const {
+    return aligned ? static_cast<int>(report.satisfied()) : -1;
+  }
+};
+
+/// Run the full formal-verification feedback on one response text within
+/// the given scenario.
+FeedbackResult formal_feedback(const DrivingDomain& domain,
+                               ScenarioId scenario,
+                               std::string_view response_text);
+
+}  // namespace dpoaf::driving

@@ -1,0 +1,62 @@
+#include "driving/specs.hpp"
+
+#include "logic/parser.hpp"
+#include "util/check.hpp"
+
+namespace dpoaf::driving {
+
+std::vector<NamedSpec> rulebook(const logic::Vocabulary& vocab) {
+  auto spec = [&vocab](const char* name, const char* text) {
+    return NamedSpec{name, logic::parse_ltl(text, vocab)};
+  };
+  return {
+      // Φ1 = □(pedestrian → ◇ stop)
+      spec("phi_1",
+           "G ((pedestrian_at_left | pedestrian_at_right | "
+           "pedestrian_in_front) -> F stop)"),
+      // Φ2 = □(opposite car ∧ ¬green left-turn light → ¬turn left)
+      spec("phi_2",
+           "G (opposite_car & !green_left_turn_light -> !turn_left)"),
+      // Φ3 = □(¬green traffic light → ¬go straight)
+      spec("phi_3", "G (!green_traffic_light -> !go_straight)"),
+      // Φ4 = □(stop sign → ◇ stop)
+      spec("phi_4", "G (stop_sign -> F stop)"),
+      // Φ5 = □(car from left ∨ pedestrian at right → ¬turn right)
+      spec("phi_5",
+           "G (car_from_left | pedestrian_at_right -> !turn_right)"),
+      // Φ6 = □(stop ∨ go straight ∨ turn left ∨ turn right)
+      spec("phi_6", "G (stop | go_straight | turn_left | turn_right)"),
+      // Φ7 = ◇(green traffic light ∨ green left-turn light) → ◇¬stop
+      spec("phi_7",
+           "F (green_traffic_light | green_left_turn_light) -> F !stop"),
+      // Φ8 = □(¬green traffic light → ◇ stop)
+      spec("phi_8", "G (!green_traffic_light -> F stop)"),
+      // Φ9 = □(car from left → ¬(turn left ∨ turn right))
+      spec("phi_9", "G (car_from_left -> !(turn_left | turn_right))"),
+      // Φ10 = □(green traffic light → ◇¬stop)
+      spec("phi_10", "G (green_traffic_light -> F !stop)"),
+      // Φ11 = □((turn right ∧ ¬green traffic light) → ¬car from left)
+      spec("phi_11",
+           "G (turn_right & !green_traffic_light -> !car_from_left)"),
+      // Φ12 = □((turn left ∧ ¬green left-turn light) →
+      //         (¬car from right ∧ ¬car from left ∧ ¬opposite car))
+      spec("phi_12",
+           "G (turn_left & !green_left_turn_light -> "
+           "(!car_from_right & !car_from_left & !opposite_car))"),
+      // Φ13 = □((stop sign ∧ ¬car from left ∧ ¬car from right) → ◇¬stop)
+      spec("phi_13",
+           "G (stop_sign & !car_from_left & !car_from_right -> F !stop)"),
+      // Φ14 = □(go straight → ¬pedestrian in front)
+      spec("phi_14", "G (go_straight -> !pedestrian_in_front)"),
+      // Φ15 = □((turn right ∧ stop sign) → ¬car from left)
+      spec("phi_15", "G (turn_right & stop_sign -> !car_from_left)"),
+  };
+}
+
+std::vector<NamedSpec> rulebook_head(const logic::Vocabulary& vocab) {
+  auto all = rulebook(vocab);
+  all.resize(5);
+  return all;
+}
+
+}  // namespace dpoaf::driving

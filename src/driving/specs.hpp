@@ -1,0 +1,22 @@
+// The complete set of 15 LTL traffic-rule specifications from the paper's
+// Appendix C — the externally provided "rule book" (Censi et al. 2019
+// style) the controllers are verified against.
+#pragma once
+
+#include <vector>
+
+#include "logic/vocabulary.hpp"
+#include "modelcheck/checker.hpp"
+
+namespace dpoaf::driving {
+
+using modelcheck::NamedSpec;
+
+/// Φ1..Φ15 exactly as listed in Appendix C, with "pedestrian" in Φ1
+/// read as any pedestrian proposition (left, right or in front).
+std::vector<NamedSpec> rulebook(const logic::Vocabulary& vocab);
+
+/// The first five specifications (the subset reported in Figure 11).
+std::vector<NamedSpec> rulebook_head(const logic::Vocabulary& vocab);
+
+}  // namespace dpoaf::driving

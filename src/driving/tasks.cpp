@@ -1,0 +1,276 @@
+#include "driving/tasks.hpp"
+
+#include "util/check.hpp"
+#include "util/strings.hpp"
+
+namespace dpoaf::driving {
+
+namespace {
+
+// Slot-filled template for one task; the variant builders below assemble
+// the numbered step lists from these pieces.
+struct TaskTemplate {
+  std::string id;
+  std::string prompt;
+  ScenarioId scenario = ScenarioId::TrafficLight;
+  bool training = true;
+  std::string observe;           // "the traffic light"
+  std::string light_cond;        // "" when the manoeuvre needs no signal
+  std::string light_wait;        // "Wait for/until …" phrasing
+  std::vector<std::string> obstacle_conds;  // negated forms, "no car from the left"
+  std::string action;            // "turn right"
+  std::string wrong_action;      // plausible but non-compliant manoeuvre
+};
+
+std::string obstacle_name(const std::string& cond) {
+  // "no car from the left" → "the car from the left"
+  if (starts_with(cond, "no "))
+    return "the " + cond.substr(3);
+  return cond;
+}
+
+std::string conjunction(const std::vector<std::string>& parts) {
+  return join(parts, " and ");
+}
+
+std::vector<std::string> with_light(const TaskTemplate& t,
+                                    const std::vector<std::string>& conds) {
+  std::vector<std::string> all;
+  if (!t.light_cond.empty()) all.push_back(t.light_cond);
+  all.insert(all.end(), conds.begin(), conds.end());
+  return all;
+}
+
+std::string make_good(const TaskTemplate& t) {
+  std::vector<std::string> names;
+  for (const auto& c : t.obstacle_conds) names.push_back(obstacle_name(c));
+  std::string out;
+  out += "1. Observe " + t.observe + ".\n";
+  out += "2. Check for " + conjunction(names) + ".\n";
+  out += "3. If " + conjunction(with_light(t, t.obstacle_conds)) + ", " +
+         t.action + ".";
+  return out;
+}
+
+std::string make_good_verbose(const TaskTemplate& t) {
+  std::string out;
+  out += "1. Look at " + t.observe + " as you approach.\n";
+  out += "2. If " + conjunction(with_light(t, t.obstacle_conds)) + ", then " +
+         t.action + ".";
+  return out;
+}
+
+// The paper's before-fine-tuning failure shape (§5.1 and App. C): each
+// safety condition is awaited in its own sequential step and the manoeuvre
+// is executed unconditionally at the end — so the environment can
+// invalidate an earlier check before the action fires (the §5.1
+// counter-example: "the traffic light turns back to red and a car is
+// coming from the left immediately after the agent is checking or waiting
+// for pedestrians").
+std::string make_split_checks(const TaskTemplate& t) {
+  std::string out;
+  int n = 1;
+  out += std::to_string(n++) + ". Observe " + t.observe + ".\n";
+  if (!t.light_wait.empty())
+    out += std::to_string(n++) + ". " + t.light_wait + ".\n";
+  for (const std::string& cond : t.obstacle_conds)
+    out += std::to_string(n++) + ". Wait until " + cond + ".\n";
+  out += std::to_string(n++) + ". " + t.action +
+         " and proceed through the intersection.";
+  return out;
+}
+
+std::string make_dropped(const TaskTemplate& t, std::string_view drop_word) {
+  std::vector<std::string> kept;
+  for (const auto& c : t.obstacle_conds)
+    if (c.find(drop_word) == std::string::npos) kept.push_back(c);
+  if (kept.size() == t.obstacle_conds.size()) return {};  // nothing dropped
+  std::vector<std::string> conds = with_light(t, kept);
+  if (conds.empty()) return {};
+  std::string out;
+  out += "1. Observe " + t.observe + ".\n";
+  out += "2. If " + conjunction(conds) + ", " + t.action + ".";
+  return out;
+}
+
+std::string make_no_light(const TaskTemplate& t) {
+  if (t.light_cond.empty()) return {};
+  std::string out;
+  out += "1. Observe " + t.observe + ".\n";
+  out += "2. If " + conjunction(t.obstacle_conds) + ", " + t.action + ".";
+  return out;
+}
+
+std::string make_wrong_action(const TaskTemplate& t) {
+  std::string out;
+  out += "1. Observe " + t.observe + ".\n";
+  out += "2. If " + conjunction(with_light(t, t.obstacle_conds)) + ", " +
+         t.wrong_action + ".";
+  return out;
+}
+
+std::string make_reckless(const TaskTemplate& t) {
+  return "1. " + t.action + " immediately.";
+}
+
+std::string make_unaligned(const TaskTemplate&) {
+  return "1. Make sure everything around you seems fine.\n"
+         "2. Do the maneuver when it feels right.";
+}
+
+Task instantiate(const TaskTemplate& t) {
+  Task task;
+  task.id = t.id;
+  task.prompt = t.prompt;
+  task.scenario = t.scenario;
+  task.training = t.training;
+
+  auto add = [&task](FlawTag tag, std::string text) {
+    if (!text.empty()) task.variants.push_back({tag, std::move(text)});
+  };
+  add(FlawTag::Good, make_good(t));
+  add(FlawTag::GoodVerbose, make_good_verbose(t));
+  add(FlawTag::SplitChecks, make_split_checks(t));
+  add(FlawTag::NoPedCheck, make_dropped(t, "pedestrian"));
+  add(FlawTag::NoCarCheck, make_dropped(t, "car"));
+  add(FlawTag::NoLightCheck, make_no_light(t));
+  add(FlawTag::WrongAction, make_wrong_action(t));
+  add(FlawTag::Reckless, make_reckless(t));
+  add(FlawTag::Unaligned, make_unaligned(t));
+  return task;
+}
+
+}  // namespace
+
+std::string flaw_name(FlawTag tag) {
+  switch (tag) {
+    case FlawTag::Good:
+      return "good";
+    case FlawTag::GoodVerbose:
+      return "good_verbose";
+    case FlawTag::SplitChecks:
+      return "split_checks";
+    case FlawTag::NoPedCheck:
+      return "no_ped_check";
+    case FlawTag::NoCarCheck:
+      return "no_car_check";
+    case FlawTag::NoLightCheck:
+      return "no_light_check";
+    case FlawTag::WrongAction:
+      return "wrong_action";
+    case FlawTag::Reckless:
+      return "reckless";
+    case FlawTag::Unaligned:
+      return "unaligned";
+  }
+  DPOAF_CHECK_MSG(false, "unknown flaw tag");
+  return {};
+}
+
+std::vector<Task> task_catalog() {
+  std::vector<TaskTemplate> templates;
+
+  templates.push_back(
+      {"turn_right_traffic_light", "turn right at the traffic light",
+       ScenarioId::TrafficLight, true, "the traffic light",
+       "", "",
+       {"no car from the left", "no pedestrian on the right",
+        "no pedestrian in front"},
+       "turn right", "go straight"});
+
+  templates.push_back(
+      {"turn_left_protected", "turn left at the traffic light",
+       ScenarioId::LeftTurnSignal, true, "the left turn light",
+       "the left turn light is green",
+       "Wait for the left turn light to turn green",
+       {"no oncoming traffic"},
+       "turn left", "go straight"});
+
+  templates.push_back(
+      {"go_straight_traffic_light", "go straight at the traffic light",
+       ScenarioId::TrafficLight, true, "the traffic light",
+       "the green traffic light is on",
+       "Wait for the traffic light to turn green",
+       {"no pedestrian in front"},
+       "go straight", "turn right"});
+
+  templates.push_back(
+      {"turn_right_stop_sign", "turn right at the two way stop sign",
+       ScenarioId::TwoWayStop, true, "the stop sign",
+       "", "",
+       {"no car from the left", "no car from the right",
+        "no pedestrian in front"},
+       "turn right", "go straight"});
+
+  templates.push_back(
+      {"enter_roundabout", "enter the roundabout",
+       ScenarioId::Roundabout, true, "the roundabout entry",
+       "", "",
+       {"no car from the left", "no pedestrian on the left",
+        "no pedestrian on the right"},
+       "turn right", "go straight"});
+
+  templates.push_back(
+      {"turn_left_wide_median", "turn left across the wide median",
+       ScenarioId::WideMedian, false, "the median opening",
+       "", "",
+       {"no car from the left", "no car from the right",
+        "no oncoming traffic"},
+       "turn left", "go straight"});
+
+  templates.push_back(
+      {"cross_crosswalk", "drive through the crosswalk at the traffic light",
+       ScenarioId::TrafficLight, false, "the traffic light",
+       "the green traffic light is on",
+       "Wait for the traffic light to turn green",
+       {"no pedestrian in front"},
+       "go straight", "turn left"});
+
+  templates.push_back(
+      {"turn_left_flashing", "turn left on the flashing left turn light",
+       ScenarioId::LeftTurnSignal, false, "the left turn light",
+       "the left turn light is flashing",
+       "Wait until the left turn light is flashing",
+       {"no oncoming traffic"},
+       "turn left", "go straight"});
+
+  std::vector<Task> tasks;
+  tasks.reserve(templates.size());
+  for (const TaskTemplate& t : templates) tasks.push_back(instantiate(t));
+  return tasks;
+}
+
+std::string paper_right_turn_before() {
+  return "1. Observe the state of the green traffic light.\n"
+         "2. If the green traffic light is on, execute the action go "
+         "straight.\n"
+         "3. As you approach the intersection, observe the state of the car "
+         "from left.\n"
+         "4. If the car from left is not present, check the state of the "
+         "pedestrian at right.\n"
+         "5. If the pedestrian at right is not present, execute the action "
+         "turn right.";
+}
+
+std::string paper_right_turn_after() {
+  return "1. Observe the traffic light in front of you.\n"
+         "2. Check for the left approaching car and right side pedestrian.\n"
+         "3. If no car from the left is approaching and no pedestrian on "
+         "the right, proceed to turn right.";
+}
+
+std::string paper_left_turn_before() {
+  return "1. Approach the traffic light with a left-turn light.\n"
+         "2. Wait for the left-turn light to turn green.\n"
+         "3. When the left-turn light turns green, wait for oncoming "
+         "traffic to clear before turning left.\n"
+         "4. Turn left and proceed through the intersection.";
+}
+
+std::string paper_left_turn_after() {
+  return "1. Approach the traffic light and observe the left turn light.\n"
+         "2. If the left turn light is not green, then stop.\n"
+         "3. If the left turn light is green, then turn left.";
+}
+
+}  // namespace dpoaf::driving

@@ -1,0 +1,63 @@
+// Task catalog and the synthetic response distribution.
+//
+// The paper queries Llama2-7B for step lists and samples multiple responses
+// per task; the pre-trained model has generic driving knowledge but misses
+// domain-specific rules, so its samples range from fully compliant to
+// subtly unsafe. This module is the C++ substitute for that distribution:
+// for every control task it generates a *canonical compliant* response plus
+// systematically flawed variants (the flaw patterns are the ones the paper
+// exhibits — split safety checks, omitted guards, wrong manoeuvre,
+// unalignable vocabulary). The tiny LM is pre-trained on a corpus drawn
+// from this distribution, so "sampling the pre-trained model" reproduces
+// the paper's starting point (~60% specification satisfaction).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "driving/scenarios.hpp"
+
+namespace dpoaf::driving {
+
+/// Why a variant is flawed (or not). Tags are diagnostic only — ranking
+/// always comes from verification, never from the tag.
+enum class FlawTag {
+  Good,          // canonical compliant response
+  GoodVerbose,   // compliant, different surface phrasing
+  SplitChecks,   // checks spread over sequential steps (paper §5.1 bug)
+  NoPedCheck,    // pedestrian guard omitted
+  NoCarCheck,    // cross-traffic guard omitted
+  NoLightCheck,  // signal guard omitted
+  WrongAction,   // wrong manoeuvre for the task
+  Reckless,      // unconditional action, no checks at all
+  Unaligned,     // vocabulary that cannot be aligned to P ∪ P_A
+};
+
+std::string flaw_name(FlawTag tag);
+
+struct ResponseVariant {
+  FlawTag tag = FlawTag::Good;
+  std::string text;  // numbered step list
+};
+
+struct Task {
+  std::string id;      // e.g. "turn_right_traffic_light"
+  std::string prompt;  // e.g. "turn right at the traffic light"
+  ScenarioId scenario = ScenarioId::TrafficLight;
+  bool training = true;  // false ⇒ held-out validation task (Fig. 9)
+  std::vector<ResponseVariant> variants;
+};
+
+/// The full catalog: five training tasks and three validation tasks across
+/// the five scenario models.
+std::vector<Task> task_catalog();
+
+/// Paper-exact §5.1 right-turn responses (before / after fine-tuning).
+std::string paper_right_turn_before();
+std::string paper_right_turn_after();
+
+/// Paper-exact Appendix C left-turn responses (before / after fine-tuning).
+std::string paper_left_turn_before();
+std::string paper_left_turn_after();
+
+}  // namespace dpoaf::driving

@@ -1,0 +1,71 @@
+#include "glm2fsa/builder.hpp"
+
+#include "util/check.hpp"
+
+namespace dpoaf::glm2fsa {
+
+using automata::CtrlStateId;
+using automata::Guard;
+
+FsaController build_controller(const ParsedResponse& response,
+                               const BuildOptions& options) {
+  DPOAF_CHECK_MSG(response.ok(),
+                  "cannot build a controller from a failed parse");
+  FsaController ctrl(options.wait_action);
+
+  const std::size_t n = response.steps.size();
+  std::vector<CtrlStateId> states;
+  states.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    states.push_back(
+        ctrl.add_state("q" + std::to_string(i + 1)));
+  }
+  ctrl.set_initial(states.front());
+
+  for (std::size_t i = 0; i < n; ++i) {
+    const ParsedStep& step = response.steps[i];
+    const CtrlStateId from = states[i];
+    const CtrlStateId to = states[(i + 1) % n];  // last step wraps to q_1
+
+    switch (step.kind) {
+      case StepKind::Observe: {
+        ctrl.add_transition(from, Guard::top(), options.wait_action, to);
+        break;
+      }
+      case StepKind::Action: {
+        ctrl.add_transition(from, Guard::top(), step.action, to);
+        break;
+      }
+      case StepKind::Conditional: {
+        Guard guard;
+        for (const ConditionLiteral& lit : step.condition) {
+          const Symbol bit = logic::Vocabulary::bit(lit.prop);
+          if (lit.negated)
+            guard.must_false |= bit;
+          else
+            guard.must_true |= bit;
+        }
+        const Symbol action = step.consequence == ConsequenceKind::EmitAction
+                                  ? step.action
+                                  : options.wait_action;
+        ctrl.add_transition(from, guard, action, to);
+        // The unmet-condition case is the controller's implicit wait
+        // self-loop (FsaController::moves), emitting the wait action.
+        break;
+      }
+    }
+  }
+  return ctrl;
+}
+
+Glm2FsaResult glm2fsa(std::string_view response_text,
+                      const PhraseAligner& aligner,
+                      const BuildOptions& options) {
+  Glm2FsaResult result{parse_response(response_text, aligner),
+                       FsaController(options.wait_action)};
+  if (result.parsed.ok())
+    result.controller = build_controller(result.parsed, options);
+  return result;
+}
+
+}  // namespace dpoaf::glm2fsa

@@ -1,0 +1,48 @@
+// GLM2FSA controller construction (Yang et al. 2022, as used in §4.1 and
+// demonstrated in the paper's Figure 7): one FSA state per step, the first
+// step's state initial, and transition rules
+//
+//   Observe step i      : q_i --( true        / stop )--> q_{i+1}
+//   Conditional i, act A: q_i --( cond        / A    )--> q_{i+1}
+//                         (implicit else: wait in q_i emitting stop)
+//   Conditional i, check: q_i --( cond        / stop )--> q_{i+1}
+//   Action step i       : q_i --( true        / A    )--> q_{i+1}
+//
+// The successor of the last step wraps to q_1: the task restarts, which is
+// the standard reactive-verification closure (an absorbing final state
+// would trivially violate liveness specifications such as
+// Φ10 = □(green → ◇¬stop)). Waiting/observing emits `stop` — a vehicle
+// holding for its step condition is physically stationary, which is what
+// the rulebook's Φ6 = □(stop ∨ go ∨ turn …) presumes.
+#pragma once
+
+#include <string>
+
+#include "automata/controller.hpp"
+#include "glm2fsa/semantic_parser.hpp"
+
+namespace dpoaf::glm2fsa {
+
+using automata::FsaController;
+
+struct BuildOptions {
+  /// Action emitted when waiting/observing; driving uses {stop}.
+  Symbol wait_action = 0;
+};
+
+/// Build a controller from a parsed response. Requires response.ok().
+FsaController build_controller(const ParsedResponse& response,
+                               const BuildOptions& options);
+
+/// Convenience: split → align → parse → build in one call. Returns the
+/// parse result alongside the controller; `controller` is only valid when
+/// `parsed.ok()`.
+struct Glm2FsaResult {
+  ParsedResponse parsed;
+  FsaController controller;
+};
+Glm2FsaResult glm2fsa(std::string_view response_text,
+                      const PhraseAligner& aligner,
+                      const BuildOptions& options);
+
+}  // namespace dpoaf::glm2fsa

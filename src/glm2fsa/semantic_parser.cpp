@@ -1,0 +1,244 @@
+#include "glm2fsa/semantic_parser.hpp"
+
+#include <algorithm>
+#include <cctype>
+
+#include "util/strings.hpp"
+
+namespace dpoaf::glm2fsa {
+
+namespace {
+
+// Cues marking a negated condition phrase ("no car from left", "the light
+// is not green", "the traffic light is red", "clear of traffic").
+bool phrase_is_negated(std::string_view phrase) {
+  const std::string p = " " + to_lower(std::string(phrase)) + " ";
+  for (const char* cue :
+       {" no ", " not ", "n't ", " without ", " absent ", " clear of ",
+        " is off ", " red ", " turns red ", " is clear ", " to clear"}) {
+    if (p.find(cue) != std::string::npos) return true;
+  }
+  return false;
+}
+
+// Strip negation cues so the remainder aligns to the underlying
+// proposition ("no car from the left" → "car from the left").
+std::string strip_negation(std::string_view phrase) {
+  std::string p = to_lower(std::string(phrase));
+  for (const char* cue :
+       {"there is no ", "there are no ", "no ", "not ", "is not present",
+        "is not on", "is not", "isn't", "are not present", "are not",
+        "aren't", "without ", "is absent", "are absent", "is off",
+        "is red", "turns red", "is clear of", "clear of", "is clear",
+        "to clear"}) {
+    p = replace_all(std::move(p), cue, " ");
+  }
+  return trim(p);
+}
+
+bool starts_with_word(std::string_view text, std::string_view word) {
+  if (!starts_with(text, word)) return false;
+  return text.size() == word.size() ||
+         !std::isalnum(static_cast<unsigned char>(text[word.size()]));
+}
+
+bool is_observe_opener(std::string_view lowered) {
+  for (const char* v : {"observe", "check", "look", "watch", "monitor",
+                        "scan", "approach"}) {
+    if (starts_with_word(lowered, v)) return true;
+  }
+  // Framing clauses like "As you approach the intersection, observe …".
+  const std::string p(lowered);
+  for (const char* v : {", observe", ", check", ", look", " observe the",
+                        " check the", " check for"}) {
+    if (p.find(v) != std::string::npos) return true;
+  }
+  return false;
+}
+
+// True when the consequence clause is a further check rather than an
+// action ("…, check the pedestrian at right").
+bool is_check_consequence(std::string_view lowered) {
+  const std::string p = trim(lowered);
+  for (const char* v : {"check", "observe", "look", "watch", "wait",
+                        "then check", "then observe"}) {
+    if (starts_with_word(p, v)) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+std::vector<std::string> split_steps(std::string_view response_text) {
+  std::vector<std::string> steps;
+  for (const std::string& raw : split(response_text, '\n')) {
+    std::string line = trim(raw);
+    if (line.empty()) continue;
+    // Strip "N." / "N)" numbering.
+    std::size_t i = 0;
+    while (i < line.size() && std::isdigit(static_cast<unsigned char>(line[i])))
+      ++i;
+    if (i > 0 && i < line.size() && (line[i] == '.' || line[i] == ')')) {
+      line = trim(line.substr(i + 1));
+    }
+    if (!line.empty()) steps.push_back(line);
+  }
+  return steps;
+}
+
+ParsedResponse parse_response(std::string_view response_text,
+                              const PhraseAligner& aligner) {
+  ParsedResponse out;
+  const std::vector<std::string> step_texts = split_steps(response_text);
+  const logic::Vocabulary& vocab = aligner.vocab();
+
+  for (std::size_t i = 0; i < step_texts.size(); ++i) {
+    const std::string& text = step_texts[i];
+    const std::string lowered = to_lower(text);
+    ParsedStep step;
+    step.text = text;
+
+    if (starts_with_word(lowered, "if") || starts_with_word(lowered, "when")) {
+      step.kind = StepKind::Conditional;
+      // Split condition from consequence at the first comma, or at " then ".
+      std::size_t cut = lowered.find(',');
+      std::size_t cons_begin = cut == std::string::npos ? cut : cut + 1;
+      if (cut == std::string::npos) {
+        const std::size_t then_pos = lowered.find(" then ");
+        if (then_pos != std::string::npos) {
+          cut = then_pos;
+          cons_begin = then_pos + 6;
+        }
+      }
+      if (cut == std::string::npos) {
+        out.issues.push_back({i, text, "conditional without consequence"});
+        continue;
+      }
+      const std::string head = trim(lowered.substr(0, cut));
+      const std::string cond_text =
+          trim(head.substr(head.find(' ') == std::string::npos
+                               ? head.size()
+                               : head.find(' ') + 1));
+      std::string cons_text = trim(lowered.substr(cons_begin));
+      if (starts_with_word(cons_text, "then"))
+        cons_text = trim(cons_text.substr(4));
+
+      // Condition: conjunction of phrases joined by " and ".
+      for (const std::string& part :
+           split(replace_all(cond_text, " and ", "\x01"), '\x01')) {
+        const std::string phrase = trim(part);
+        if (phrase.empty()) continue;
+        ConditionLiteral lit;
+        lit.negated = phrase_is_negated(phrase);
+        const std::string core =
+            lit.negated ? strip_negation(phrase) : phrase;
+        const auto idx = aligner.align(core);
+        if (!idx) {
+          out.issues.push_back({i, phrase, "unalignable condition phrase"});
+          continue;
+        }
+        if (vocab.is_action(*idx)) {
+          out.issues.push_back(
+              {i, phrase, "condition phrase aligned to an action"});
+          continue;
+        }
+        lit.prop = *idx;
+        step.condition.push_back(lit);
+      }
+      if (step.condition.empty()) {
+        out.issues.push_back({i, cond_text, "empty condition"});
+        continue;
+      }
+      // Contradictory conditions ("car from left and no car from left")
+      // cannot guard any transition; flag them as parse issues.
+      bool contradiction = false;
+      for (const auto& l1 : step.condition)
+        for (const auto& l2 : step.condition)
+          if (l1.prop == l2.prop && l1.negated != l2.negated)
+            contradiction = true;
+      if (contradiction) {
+        out.issues.push_back({i, cond_text, "contradictory condition"});
+        continue;
+      }
+
+      // Consequence: another check (proceed) or an action.
+      if (is_check_consequence(cons_text)) {
+        step.consequence = ConsequenceKind::Proceed;
+      } else {
+        const auto idx = aligner.align(cons_text);
+        if (!idx || !vocab.is_action(*idx)) {
+          out.issues.push_back({i, cons_text, "unalignable action phrase"});
+          continue;
+        }
+        step.consequence = ConsequenceKind::EmitAction;
+        step.action = logic::Vocabulary::bit(*idx);
+      }
+      out.steps.push_back(step);
+      continue;
+    }
+
+    // "Wait for/until X" — a conditional wait: block (emitting the wait
+    // action) until X holds, then advance. This is how GLM2FSA encodes the
+    // paper's "Wait for the left-turn light to turn green." step.
+    if (starts_with_word(lowered, "wait") &&
+        (lowered.find("wait for ") == 0 || lowered.find("wait until ") == 0)) {
+      const std::size_t skip =
+          lowered.find("wait for ") == 0 ? 9 : 11;  // len of the opener
+      const std::string phrase = trim(lowered.substr(skip));
+      ConditionLiteral lit;
+      lit.negated = phrase_is_negated(phrase);
+      const std::string core = lit.negated ? strip_negation(phrase) : phrase;
+      const auto idx = aligner.align(core);
+      if (!idx || vocab.is_action(*idx)) {
+        out.issues.push_back({i, phrase, "unalignable wait condition"});
+        continue;
+      }
+      lit.prop = *idx;
+      step.kind = StepKind::Conditional;
+      step.condition.push_back(lit);
+      step.consequence = ConsequenceKind::Proceed;
+      out.steps.push_back(step);
+      continue;
+    }
+
+    if (is_observe_opener(lowered)) {
+      step.kind = StepKind::Observe;
+      // Align the observed object for diagnostics; failure here is benign
+      // (the FSA treats every observe step identically).
+      if (const auto idx = aligner.align(lowered)) step.observed_prop = *idx;
+      out.steps.push_back(step);
+      continue;
+    }
+
+    // Bare action step. Compound sentences ("Turn left and proceed through
+    // the intersection") align on the first clause that names an action.
+    std::optional<int> action_idx;
+    for (const std::string& clause :
+         split(replace_all(lowered, " and ", "\x01"), '\x01')) {
+      const auto idx = aligner.align(trim(clause));
+      if (idx && vocab.is_action(*idx)) {
+        action_idx = idx;
+        break;
+      }
+    }
+    if (!action_idx) {
+      if (const auto idx = aligner.align(lowered);
+          idx && vocab.is_action(*idx))
+        action_idx = idx;
+    }
+    if (action_idx) {
+      step.kind = StepKind::Action;
+      step.consequence = ConsequenceKind::EmitAction;
+      step.action = logic::Vocabulary::bit(*action_idx);
+      out.steps.push_back(step);
+      continue;
+    }
+    out.issues.push_back({i, text, "unrecognized step shape"});
+  }
+
+  if (out.steps.empty() && out.issues.empty())
+    out.issues.push_back({0, std::string(response_text), "empty response"});
+  return out;
+}
+
+}  // namespace dpoaf::glm2fsa

@@ -1,0 +1,69 @@
+// Semantic parsing of step lists (paper §4.1, "Controller Construction"):
+// breaks each textual step into verb phrases and keywords, producing the
+// intermediate form the paper illustrates as
+//   <observe traffic light>. / <if> <green traffic light>, <go straight>.
+// Three step shapes are recognized:
+//   Observe      — "Observe/Check/Look at/Watch X."
+//   Conditional  — "If C₁ and C₂ …, A."  (A an action or a check/observe)
+//   Action       — "Turn right." / "Execute the action stop."
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "glm2fsa/aligner.hpp"
+#include "logic/vocabulary.hpp"
+
+namespace dpoaf::glm2fsa {
+
+using logic::Symbol;
+
+enum class StepKind { Observe, Conditional, Action };
+
+/// One literal of a step condition: proposition index + polarity.
+struct ConditionLiteral {
+  int prop = -1;
+  bool negated = false;
+};
+
+/// What the step does once its condition holds.
+enum class ConsequenceKind {
+  EmitAction,  // emit `action` and advance
+  Proceed,     // a further check/observe: advance without acting
+};
+
+struct ParsedStep {
+  StepKind kind = StepKind::Observe;
+  std::vector<ConditionLiteral> condition;  // empty for Observe/Action
+  ConsequenceKind consequence = ConsequenceKind::Proceed;
+  Symbol action = 0;       // valid when consequence == EmitAction
+  int observed_prop = -1;  // for Observe steps (diagnostics only)
+  std::string text;        // the original step text
+};
+
+/// A parse failure on one step. The paper treats unalignable output as a
+/// deficiency that the fine-tuning should reduce; failures are therefore
+/// recorded rather than thrown, and the ranking code scores them.
+struct ParseIssue {
+  std::size_t step_index = 0;
+  std::string phrase;   // the offending fragment
+  std::string message;  // what went wrong
+};
+
+struct ParsedResponse {
+  std::vector<ParsedStep> steps;
+  std::vector<ParseIssue> issues;
+
+  [[nodiscard]] bool ok() const { return issues.empty() && !steps.empty(); }
+};
+
+/// Split a response body into numbered step texts. Accepts "1. foo", "2)
+/// bar", or bare lines; blank lines are skipped.
+std::vector<std::string> split_steps(std::string_view response_text);
+
+/// Parse an entire response (numbered step list) using `aligner` to ground
+/// phrases in the vocabulary.
+ParsedResponse parse_response(std::string_view response_text,
+                              const PhraseAligner& aligner);
+
+}  // namespace dpoaf::glm2fsa

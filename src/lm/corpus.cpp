@@ -1,0 +1,98 @@
+#include "lm/corpus.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+
+namespace dpoaf::lm {
+
+std::string format_prompt_text(const std::string& task_prompt) {
+  return "[INST] steps for " + task_prompt + " : [/INST]";
+}
+
+std::vector<int> encode_prompt(const Tokenizer& tok,
+                               const std::string& task_prompt) {
+  std::vector<int> ids{tok.bos()};
+  const auto body = tok.encode(format_prompt_text(task_prompt));
+  ids.insert(ids.end(), body.begin(), body.end());
+  return ids;
+}
+
+std::vector<int> encode_example(const Tokenizer& tok,
+                                const std::string& task_prompt,
+                                const std::string& response_text) {
+  std::vector<int> ids = encode_prompt(tok, task_prompt);
+  const auto body = tok.encode(response_text);
+  ids.insert(ids.end(), body.begin(), body.end());
+  ids.push_back(tok.eos());
+  return ids;
+}
+
+Tokenizer build_tokenizer(const std::vector<driving::Task>& tasks) {
+  std::vector<std::string> texts;
+  for (const auto& task : tasks) {
+    texts.push_back(format_prompt_text(task.prompt));
+    for (const auto& variant : task.variants) texts.push_back(variant.text);
+  }
+  return Tokenizer::build(texts);
+}
+
+double VariantWeights::weight(driving::FlawTag tag) const {
+  using driving::FlawTag;
+  switch (tag) {
+    case FlawTag::Good:
+      return good;
+    case FlawTag::GoodVerbose:
+      return good_verbose;
+    case FlawTag::SplitChecks:
+      return split_checks;
+    case FlawTag::NoPedCheck:
+      return no_ped_check;
+    case FlawTag::NoCarCheck:
+      return no_car_check;
+    case FlawTag::NoLightCheck:
+      return no_light_check;
+    case FlawTag::WrongAction:
+      return wrong_action;
+    case FlawTag::Reckless:
+      return reckless;
+    case FlawTag::Unaligned:
+      return unaligned;
+  }
+  return 0.0;
+}
+
+std::vector<CorpusExample> build_corpus(
+    const std::vector<driving::Task>& tasks, const Tokenizer& tok,
+    int samples_per_task, const VariantWeights& weights, Rng& rng) {
+  DPOAF_CHECK(samples_per_task > 0);
+  std::vector<CorpusExample> corpus;
+  corpus.reserve(tasks.size() * static_cast<std::size_t>(samples_per_task));
+  for (const auto& task : tasks) {
+    std::vector<double> w;
+    w.reserve(task.variants.size());
+    for (const auto& variant : task.variants)
+      w.push_back(weights.weight(variant.tag));
+    const std::int64_t prompt_len =
+        static_cast<std::int64_t>(encode_prompt(tok, task.prompt).size());
+    for (int s = 0; s < samples_per_task; ++s) {
+      const auto& variant = task.variants[rng.weighted(w)];
+      CorpusExample ex;
+      ex.task_id = task.id;
+      ex.tag = variant.tag;
+      ex.ids = encode_example(tok, task.prompt, variant.text);
+      ex.prompt_len = prompt_len;
+      corpus.push_back(std::move(ex));
+    }
+  }
+  return corpus;
+}
+
+std::int64_t max_sequence_length(const std::vector<CorpusExample>& corpus) {
+  std::int64_t mx = 0;
+  for (const auto& ex : corpus)
+    mx = std::max(mx, static_cast<std::int64_t>(ex.ids.size()));
+  return mx;
+}
+
+}  // namespace dpoaf::lm

@@ -1,0 +1,68 @@
+// Synthetic pre-training corpus — the stand-in for Llama2-7B's generic
+// driving knowledge. Sequences follow the paper's Appendix E prompt format
+//   <s> [INST] steps for "<task>" : [/INST] <response> </s>
+// and responses are drawn from each task's variant distribution with
+// weights that put most of the probability mass on *imperfect* responses,
+// reproducing the paper's pre-fine-tuning starting point (~60% of
+// specifications satisfied).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "driving/tasks.hpp"
+#include "nn/tokenizer.hpp"
+#include "util/rng.hpp"
+
+namespace dpoaf::lm {
+
+using nn::Tokenizer;
+
+/// The Appendix-E-style prompt text for a task (without <s>).
+std::string format_prompt_text(const std::string& task_prompt);
+
+/// Prompt token ids including <s>; every sequence starts with these.
+std::vector<int> encode_prompt(const Tokenizer& tok,
+                               const std::string& task_prompt);
+
+/// Full sequence ids: prompt + response + </s>.
+std::vector<int> encode_example(const Tokenizer& tok,
+                                const std::string& task_prompt,
+                                const std::string& response_text);
+
+/// Build the tokenizer over every prompt and variant text in the catalog.
+Tokenizer build_tokenizer(const std::vector<driving::Task>& tasks);
+
+/// Relative sampling weight of each variant kind in the pre-training
+/// distribution. Defaults skew toward flawed phrasings.
+struct VariantWeights {
+  double good = 0.6;
+  double good_verbose = 0.4;
+  double split_checks = 1.5;
+  double no_ped_check = 1.1;
+  double no_car_check = 1.1;
+  double no_light_check = 1.1;
+  double wrong_action = 1.1;
+  double reckless = 1.6;
+  double unaligned = 3.4;
+
+  [[nodiscard]] double weight(driving::FlawTag tag) const;
+};
+
+struct CorpusExample {
+  std::string task_id;
+  driving::FlawTag tag = driving::FlawTag::Good;
+  std::vector<int> ids;
+  std::int64_t prompt_len = 0;  // tokens up to and including [/INST]
+};
+
+/// Draw `samples_per_task` (prompt, response) sequences per task with the
+/// given variant weights.
+std::vector<CorpusExample> build_corpus(
+    const std::vector<driving::Task>& tasks, const Tokenizer& tok,
+    int samples_per_task, const VariantWeights& weights, Rng& rng);
+
+/// Longest sequence in the corpus (to size the model's context).
+std::int64_t max_sequence_length(const std::vector<CorpusExample>& corpus);
+
+}  // namespace dpoaf::lm

@@ -1,0 +1,79 @@
+#include "lm/pretrain.hpp"
+
+#include <numeric>
+
+#include "nn/optim.hpp"
+#include "util/check.hpp"
+
+namespace dpoaf::lm {
+
+using tensor::Tape;
+using tensor::Tensor;
+
+PretrainStats pretrain(TinyGpt& model,
+                       const std::vector<CorpusExample>& corpus,
+                       const PretrainConfig& config, Rng& rng) {
+  DPOAF_CHECK(!corpus.empty());
+  DPOAF_CHECK(config.batch_size > 0);
+  nn::AdamWConfig opt_cfg;
+  opt_cfg.lr = config.lr;
+  nn::AdamW opt(model.trainable_parameters(), opt_cfg);
+
+  PretrainStats stats;
+  std::vector<std::size_t> order(corpus.size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+
+  for (int epoch = 0; epoch < config.epochs; ++epoch) {
+    rng.shuffle(order);
+    double epoch_loss = 0.0;
+    std::size_t i = 0;
+    while (i < order.size()) {
+      const std::size_t batch_end =
+          std::min(order.size(), i + static_cast<std::size_t>(config.batch_size));
+      Tape tape;
+      Tensor batch_loss;
+      const auto n_in_batch = static_cast<float>(batch_end - i);
+      bool first = true;
+      for (; i < batch_end; ++i) {
+        Tensor loss = model.nll_loss(&tape, corpus[order[i]].ids);
+        epoch_loss += loss.item();
+        Tensor scaled = tensor::ops::scale(&tape, loss, 1.0f / n_in_batch);
+        batch_loss = first ? scaled : tensor::ops::add(&tape, batch_loss, scaled);
+        first = false;
+      }
+      opt.zero_grad();
+      tape.backward(batch_loss);
+      opt.step();
+    }
+    stats.epoch_losses.push_back(epoch_loss /
+                                 static_cast<double>(corpus.size()));
+  }
+  return stats;
+}
+
+std::vector<std::string> sample_responses(const TinyGpt& model,
+                                          const Tokenizer& tok,
+                                          const std::string& task_prompt,
+                                          int m, const SamplerConfig& config,
+                                          Rng& rng) {
+  DPOAF_CHECK(m > 0);
+  const std::vector<int> prompt = encode_prompt(tok, task_prompt);
+  std::vector<std::string> out;
+  out.reserve(static_cast<std::size_t>(m));
+  for (int s = 0; s < m; ++s) {
+    const auto ids =
+        model.generate(prompt, config.max_new_tokens, config.temperature,
+                       config.top_k, tok.eos(), rng);
+    out.push_back(tok.decode(ids));
+  }
+  return out;
+}
+
+std::string greedy_response(const TinyGpt& model, const Tokenizer& tok,
+                            const std::string& task_prompt,
+                            int max_new_tokens) {
+  const std::vector<int> prompt = encode_prompt(tok, task_prompt);
+  return tok.decode(model.generate_greedy(prompt, max_new_tokens, tok.eos()));
+}
+
+}  // namespace dpoaf::lm

@@ -1,0 +1,53 @@
+// Pre-training loop (next-token cross-entropy over the synthetic corpus)
+// and response sampling — "querying the pre-trained model" in the paper's
+// pipeline. After pre-training, sampled responses mirror the corpus's
+// variant distribution, so the model starts with generic-but-imperfect
+// domain behaviour exactly as the paper assumes of Llama2-7B.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "lm/corpus.hpp"
+#include "nn/gpt.hpp"
+
+namespace dpoaf::lm {
+
+using nn::TinyGpt;
+
+struct PretrainConfig {
+  int epochs = 12;
+  int batch_size = 8;
+  float lr = 3e-3f;
+};
+
+struct PretrainStats {
+  std::vector<double> epoch_losses;  // mean CE per epoch
+};
+
+/// Train `model` in place; returns per-epoch losses.
+PretrainStats pretrain(TinyGpt& model,
+                       const std::vector<CorpusExample>& corpus,
+                       const PretrainConfig& config, Rng& rng);
+
+struct SamplerConfig {
+  int max_new_tokens = 72;
+  float temperature = 0.7f;
+  int top_k = 6;
+};
+
+/// Sample m responses for a task prompt; returns decoded response texts
+/// (the step lists, ready for GLM2FSA).
+std::vector<std::string> sample_responses(const TinyGpt& model,
+                                          const Tokenizer& tok,
+                                          const std::string& task_prompt,
+                                          int m, const SamplerConfig& config,
+                                          Rng& rng);
+
+/// Greedy (argmax) response for a task prompt — used to evaluate
+/// checkpoints (Figure 9).
+std::string greedy_response(const TinyGpt& model, const Tokenizer& tok,
+                            const std::string& task_prompt,
+                            int max_new_tokens = 72);
+
+}  // namespace dpoaf::lm

@@ -1,0 +1,147 @@
+#include "logic/lasso_eval.hpp"
+
+#include <unordered_map>
+
+#include "util/check.hpp"
+
+namespace dpoaf::logic {
+
+namespace {
+
+// The word has |prefix| + |cycle| distinct positions; position i's successor
+// is i+1, except the last position which loops back to the cycle start.
+class LassoEvaluator {
+ public:
+  explicit LassoEvaluator(const LassoWord& w) : w_(w) {
+    n_ = w.prefix.size() + w.cycle.size();
+  }
+
+  const std::vector<char>& values(const Ltl& f) {
+    if (auto it = memo_.find(f->id); it != memo_.end()) return it->second;
+    std::vector<char> v(n_, 0);
+    switch (f->op) {
+      case LtlOp::True:
+        v.assign(n_, 1);
+        break;
+      case LtlOp::False:
+        break;
+      case LtlOp::Prop: {
+        for (std::size_t i = 0; i < n_; ++i)
+          v[i] = Vocabulary::has(at(i), f->prop) ? 1 : 0;
+        break;
+      }
+      case LtlOp::Not: {
+        const auto& a = values(f->lhs);
+        for (std::size_t i = 0; i < n_; ++i) v[i] = a[i] ? 0 : 1;
+        break;
+      }
+      case LtlOp::And: {
+        const auto& a = values(f->lhs);
+        const auto& b = values(f->rhs);
+        for (std::size_t i = 0; i < n_; ++i) v[i] = (a[i] && b[i]) ? 1 : 0;
+        break;
+      }
+      case LtlOp::Or: {
+        const auto& a = values(f->lhs);
+        const auto& b = values(f->rhs);
+        for (std::size_t i = 0; i < n_; ++i) v[i] = (a[i] || b[i]) ? 1 : 0;
+        break;
+      }
+      case LtlOp::Implies: {
+        const auto& a = values(f->lhs);
+        const auto& b = values(f->rhs);
+        for (std::size_t i = 0; i < n_; ++i) v[i] = (!a[i] || b[i]) ? 1 : 0;
+        break;
+      }
+      case LtlOp::Next: {
+        const auto& a = values(f->lhs);
+        for (std::size_t i = 0; i < n_; ++i) v[i] = a[succ(i)];
+        break;
+      }
+      case LtlOp::Eventually: {
+        // Least fix-point of v[i] = a[i] ∨ v[succ(i)].
+        const auto& a = values(f->lhs);
+        v = lfp(a, std::vector<char>(n_, 1));
+        break;
+      }
+      case LtlOp::Always: {
+        // Greatest fix-point of v[i] = a[i] ∧ v[succ(i)].
+        const auto& a = values(f->lhs);
+        v = gfp(std::vector<char>(n_, 0), a);
+        break;
+      }
+      case LtlOp::Until: {
+        // Least fix-point of v[i] = b[i] ∨ (a[i] ∧ v[succ(i)]).
+        v = lfp(values(f->rhs), values(f->lhs));
+        break;
+      }
+      case LtlOp::Release: {
+        // Greatest fix-point of v[i] = b[i] ∧ (a[i] ∨ v[succ(i)]).
+        v = gfp(values(f->lhs), values(f->rhs));
+        break;
+      }
+    }
+    return memo_.emplace(f->id, std::move(v)).first->second;
+  }
+
+ private:
+  Symbol at(std::size_t i) const {
+    return i < w_.prefix.size() ? w_.prefix[i]
+                                : w_.cycle[i - w_.prefix.size()];
+  }
+  std::size_t succ(std::size_t i) const {
+    return i + 1 < n_ ? i + 1 : w_.prefix.size();
+  }
+
+  // v[i] = hold_now[i] ∨ (cont[i] ∧ v[succ(i)]), least fix-point.
+  std::vector<char> lfp(const std::vector<char>& hold_now,
+                        const std::vector<char>& cont) {
+    std::vector<char> v(n_, 0);
+    for (std::size_t iter = 0; iter <= n_; ++iter) {
+      bool changed = false;
+      for (std::size_t i = n_; i-- > 0;) {
+        const char nv =
+            (hold_now[i] || (cont[i] && v[succ(i)])) ? 1 : 0;
+        if (nv != v[i]) {
+          v[i] = nv;
+          changed = true;
+        }
+      }
+      if (!changed) break;
+    }
+    return v;
+  }
+
+  // v[i] = must[i] ∧ (release_now[i] ∨ v[succ(i)]), greatest fix-point.
+  std::vector<char> gfp(const std::vector<char>& release_now,
+                        const std::vector<char>& must) {
+    std::vector<char> v(n_, 1);
+    for (std::size_t iter = 0; iter <= n_; ++iter) {
+      bool changed = false;
+      for (std::size_t i = n_; i-- > 0;) {
+        const char nv = (must[i] && (release_now[i] || v[succ(i)])) ? 1 : 0;
+        if (nv != v[i]) {
+          v[i] = nv;
+          changed = true;
+        }
+      }
+      if (!changed) break;
+    }
+    return v;
+  }
+
+  const LassoWord& w_;
+  std::size_t n_ = 0;
+  std::unordered_map<std::uint64_t, std::vector<char>> memo_;
+};
+
+}  // namespace
+
+bool evaluate_lasso(const Ltl& f, const LassoWord& w) {
+  DPOAF_CHECK(f != nullptr);
+  DPOAF_CHECK_MSG(!w.cycle.empty(), "lasso cycle must be non-empty");
+  LassoEvaluator ev(w);
+  return ev.values(f)[0] != 0;
+}
+
+}  // namespace dpoaf::logic

@@ -1,0 +1,26 @@
+// LTL semantics on ultimately periodic words u·v^ω ("lassos"). Used to
+// validate counter-examples returned by the model checker (a reported lasso
+// must actually falsify the specification) and as an independent oracle in
+// the property-based test suite.
+#pragma once
+
+#include <vector>
+
+#include "logic/ltl.hpp"
+#include "logic/vocabulary.hpp"
+
+namespace dpoaf::logic {
+
+/// An ultimately periodic word: prefix u followed by cycle v repeated
+/// forever. `cycle` must be non-empty.
+struct LassoWord {
+  std::vector<Symbol> prefix;
+  std::vector<Symbol> cycle;
+};
+
+/// Evaluate `f` at position 0 of the infinite word `w` under standard LTL
+/// semantics. Temporal operators are computed by fix-point iteration over
+/// the |prefix| + |cycle| distinct positions.
+bool evaluate_lasso(const Ltl& f, const LassoWord& w);
+
+}  // namespace dpoaf::logic

@@ -1,0 +1,99 @@
+#include "logic/ltlf.hpp"
+
+#include <unordered_map>
+
+#include "util/check.hpp"
+
+namespace dpoaf::logic {
+
+namespace {
+
+struct Memo {
+  // Key: (node id, position). Values memoized per evaluate_ltlf call.
+  std::unordered_map<std::uint64_t, bool> table;
+  const Trace* trace = nullptr;
+
+  static std::uint64_t key(const Ltl& f, std::size_t pos) {
+    return f->id * 1000003ULL + pos;
+  }
+
+  bool eval(const Ltl& f, std::size_t pos) {
+    const std::size_t n = trace->size();
+    DPOAF_DCHECK(pos < n);
+    switch (f->op) {
+      case LtlOp::True:
+        return true;
+      case LtlOp::False:
+        return false;
+      case LtlOp::Prop:
+        return Vocabulary::has((*trace)[pos], f->prop);
+      case LtlOp::Not:
+        return !eval(f->lhs, pos);
+      case LtlOp::And:
+        return eval(f->lhs, pos) && eval(f->rhs, pos);
+      case LtlOp::Or:
+        return eval(f->lhs, pos) || eval(f->rhs, pos);
+      case LtlOp::Implies:
+        return !eval(f->lhs, pos) || eval(f->rhs, pos);
+      case LtlOp::Next:
+        return pos + 1 < n && memo(f->lhs, pos + 1);
+      case LtlOp::Eventually: {
+        for (std::size_t j = pos; j < n; ++j)
+          if (memo(f->lhs, j)) return true;
+        return false;
+      }
+      case LtlOp::Always: {
+        for (std::size_t j = pos; j < n; ++j)
+          if (!memo(f->lhs, j)) return false;
+        return true;
+      }
+      case LtlOp::Until: {
+        for (std::size_t j = pos; j < n; ++j) {
+          if (memo(f->rhs, j)) return true;
+          if (!memo(f->lhs, j)) return false;
+        }
+        return false;
+      }
+      case LtlOp::Release: {
+        // φ R ψ on finite traces: ψ holds up to and including the step where
+        // φ first holds; if φ never holds, ψ must hold to the end.
+        for (std::size_t j = pos; j < n; ++j) {
+          if (!memo(f->rhs, j)) return false;
+          if (memo(f->lhs, j)) return true;
+        }
+        return true;
+      }
+    }
+    DPOAF_CHECK_MSG(false, "unreachable LtlOp in LTLf evaluation");
+    return false;
+  }
+
+  bool memo(const Ltl& f, std::size_t pos) {
+    const std::uint64_t k = key(f, pos);
+    if (auto it = table.find(k); it != table.end()) return it->second;
+    const bool v = eval(f, pos);
+    table.emplace(k, v);
+    return v;
+  }
+};
+
+}  // namespace
+
+bool evaluate_ltlf(const Ltl& f, const Trace& trace, std::size_t pos) {
+  DPOAF_CHECK(f != nullptr);
+  DPOAF_CHECK_MSG(pos < trace.size(),
+                  "LTLf evaluation requires a non-empty trace");
+  Memo memo;
+  memo.trace = &trace;
+  return memo.memo(f, pos);
+}
+
+double satisfaction_rate(const Ltl& f, const std::vector<Trace>& traces) {
+  if (traces.empty()) return 0.0;
+  std::size_t sat = 0;
+  for (const Trace& t : traces)
+    if (!t.empty() && evaluate_ltlf(f, t)) ++sat;
+  return static_cast<double>(sat) / static_cast<double>(traces.size());
+}
+
+}  // namespace dpoaf::logic

@@ -1,0 +1,199 @@
+#include "logic/parser.hpp"
+
+#include <cctype>
+#include <vector>
+
+namespace dpoaf::logic {
+
+namespace {
+
+enum class Tok { Ident, LParen, RParen, Not, And, Or, Implies, End };
+
+struct Token {
+  Tok kind;
+  std::string text;  // for Ident
+};
+
+class Lexer {
+ public:
+  explicit Lexer(std::string_view s) : s_(s) {}
+
+  Token next() {
+    skip_ws();
+    if (pos_ >= s_.size()) return {Tok::End, ""};
+    const char c = s_[pos_];
+    // Unicode synonyms for the paper's notation.
+    if (consume_utf8("□") || consume_utf8("☐")) return {Tok::Ident, "G"};
+    if (consume_utf8("◇") || consume_utf8("⋄")) return {Tok::Ident, "F"};
+    if (consume_utf8("○")) return {Tok::Ident, "X"};
+    if (consume_utf8("¬")) return {Tok::Not, ""};
+    if (consume_utf8("∧")) return {Tok::And, ""};
+    if (consume_utf8("∨")) return {Tok::Or, ""};
+    if (consume_utf8("→")) return {Tok::Implies, ""};
+    switch (c) {
+      case '(':
+        ++pos_;
+        return {Tok::LParen, ""};
+      case ')':
+        ++pos_;
+        return {Tok::RParen, ""};
+      case '!':
+        ++pos_;
+        return {Tok::Not, ""};
+      case '&':
+        ++pos_;
+        if (pos_ < s_.size() && s_[pos_] == '&') ++pos_;
+        return {Tok::And, ""};
+      case '|':
+        ++pos_;
+        if (pos_ < s_.size() && s_[pos_] == '|') ++pos_;
+        return {Tok::Or, ""};
+      case '-':
+        if (pos_ + 1 < s_.size() && s_[pos_ + 1] == '>') {
+          pos_ += 2;
+          return {Tok::Implies, ""};
+        }
+        throw ParseError("unexpected '-' in LTL formula");
+      default:
+        break;
+    }
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      std::size_t j = pos_;
+      while (j < s_.size() &&
+             (std::isalnum(static_cast<unsigned char>(s_[j])) || s_[j] == '_'))
+        ++j;
+      Token t{Tok::Ident, std::string(s_.substr(pos_, j - pos_))};
+      pos_ = j;
+      return t;
+    }
+    throw ParseError(std::string("unexpected character '") + c +
+                     "' in LTL formula");
+  }
+
+ private:
+  void skip_ws() {
+    while (pos_ < s_.size() &&
+           std::isspace(static_cast<unsigned char>(s_[pos_])))
+      ++pos_;
+  }
+  bool consume_utf8(std::string_view needle) {
+    if (s_.substr(pos_, needle.size()) == needle) {
+      pos_ += needle.size();
+      return true;
+    }
+    return false;
+  }
+  std::string_view s_;
+  std::size_t pos_ = 0;
+};
+
+class Parser {
+ public:
+  Parser(std::string_view text, const Vocabulary& vocab)
+      : vocab_(vocab), lexer_(text) {
+    advance();
+  }
+
+  Ltl parse() {
+    Ltl f = expr();
+    expect(Tok::End, "trailing input after formula");
+    return f;
+  }
+
+ private:
+  void advance() { cur_ = lexer_.next(); }
+
+  void expect(Tok kind, const char* msg) {
+    if (cur_.kind != kind) throw ParseError(msg);
+  }
+
+  Ltl expr() {
+    Ltl lhs = or_expr();
+    if (cur_.kind == Tok::Implies) {
+      advance();
+      return ltl::implies(lhs, expr());
+    }
+    return lhs;
+  }
+
+  Ltl or_expr() {
+    Ltl lhs = and_expr();
+    while (cur_.kind == Tok::Or) {
+      advance();
+      lhs = ltl::lor(lhs, and_expr());
+    }
+    return lhs;
+  }
+
+  Ltl and_expr() {
+    Ltl lhs = until_expr();
+    while (cur_.kind == Tok::And) {
+      advance();
+      lhs = ltl::land(lhs, until_expr());
+    }
+    return lhs;
+  }
+
+  Ltl until_expr() {
+    Ltl lhs = unary();
+    if (cur_.kind == Tok::Ident && (cur_.text == "U" || cur_.text == "R")) {
+      const bool is_until = cur_.text == "U";
+      advance();
+      Ltl rhs = until_expr();
+      return is_until ? ltl::until(lhs, rhs) : ltl::release(lhs, rhs);
+    }
+    return lhs;
+  }
+
+  Ltl unary() {
+    if (cur_.kind == Tok::Not) {
+      advance();
+      return ltl::lnot(unary());
+    }
+    if (cur_.kind == Tok::Ident) {
+      if (cur_.text == "G") {
+        advance();
+        return ltl::always(unary());
+      }
+      if (cur_.text == "F") {
+        advance();
+        return ltl::eventually(unary());
+      }
+      if (cur_.text == "X") {
+        advance();
+        return ltl::next(unary());
+      }
+    }
+    return atom();
+  }
+
+  Ltl atom() {
+    if (cur_.kind == Tok::LParen) {
+      advance();
+      Ltl f = expr();
+      expect(Tok::RParen, "expected ')'");
+      advance();
+      return f;
+    }
+    expect(Tok::Ident, "expected proposition, 'true', 'false' or '('");
+    const std::string name = cur_.text;
+    advance();
+    if (name == "true" || name == "TRUE") return ltl::ltrue();
+    if (name == "false" || name == "FALSE") return ltl::lfalse();
+    const auto idx = vocab_.find(name);
+    if (!idx) throw ParseError("unknown proposition: " + name);
+    return ltl::prop(*idx);
+  }
+
+  const Vocabulary& vocab_;
+  Lexer lexer_;
+  Token cur_{Tok::End, ""};
+};
+
+}  // namespace
+
+Ltl parse_ltl(std::string_view text, const Vocabulary& vocab) {
+  return Parser(text, vocab).parse();
+}
+
+}  // namespace dpoaf::logic

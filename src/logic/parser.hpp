@@ -1,0 +1,34 @@
+// Recursive-descent parser for the ASCII LTL syntax used throughout the
+// repository (specifications, tests, fairness assumptions):
+//
+//   expr    := or ('->' expr)?                  (implication, right-assoc)
+//   or      := and ('|' and)*
+//   and     := until ('&' until)*
+//   until   := unary (('U' | 'R') until)?       (right-assoc)
+//   unary   := ('!' | 'G' | 'F' | 'X') unary | atom
+//   atom    := 'true' | 'false' | ident | '(' expr ')'
+//
+// `ident` is an underscored proposition/action name resolved against the
+// vocabulary (e.g. green_traffic_light). Unicode operators □ ◇ ○ from the
+// paper are accepted as synonyms for G F X.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+#include "logic/ltl.hpp"
+#include "logic/vocabulary.hpp"
+
+namespace dpoaf::logic {
+
+class ParseError : public std::runtime_error {
+ public:
+  explicit ParseError(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Parse `text` into a formula; throws ParseError on malformed input or
+/// names missing from `vocab`.
+Ltl parse_ltl(std::string_view text, const Vocabulary& vocab);
+
+}  // namespace dpoaf::logic

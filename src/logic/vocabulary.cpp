@@ -1,0 +1,114 @@
+#include "logic/vocabulary.hpp"
+
+#include "util/check.hpp"
+
+namespace dpoaf::logic {
+
+int Vocabulary::add(std::string_view name, bool action) {
+  const std::string key(name);
+  if (auto it = index_.find(key); it != index_.end()) {
+    DPOAF_CHECK_MSG(action_flags_[static_cast<std::size_t>(it->second)] ==
+                        action,
+                    "name registered with a different kind: " + key);
+    return it->second;
+  }
+  DPOAF_CHECK_MSG(names_.size() < kMaxProps,
+                  "vocabulary limited to 64 propositions");
+  const int idx = static_cast<int>(names_.size());
+  names_.push_back(key);
+  action_flags_.push_back(action);
+  index_.emplace(key, idx);
+  if (!action) ++prop_count_;
+  return idx;
+}
+
+int Vocabulary::add_prop(std::string_view name) { return add(name, false); }
+int Vocabulary::add_action(std::string_view name) { return add(name, true); }
+
+std::optional<int> Vocabulary::find(std::string_view name) const {
+  if (auto it = index_.find(std::string(name)); it != index_.end())
+    return it->second;
+  return std::nullopt;
+}
+
+bool Vocabulary::is_action(int index) const {
+  DPOAF_CHECK(index >= 0 && static_cast<std::size_t>(index) < names_.size());
+  return action_flags_[static_cast<std::size_t>(index)];
+}
+
+const std::string& Vocabulary::name(int index) const {
+  DPOAF_CHECK(index >= 0 && static_cast<std::size_t>(index) < names_.size());
+  return names_[static_cast<std::size_t>(index)];
+}
+
+std::vector<int> Vocabulary::prop_indices() const {
+  std::vector<int> out;
+  for (std::size_t i = 0; i < names_.size(); ++i)
+    if (!action_flags_[i]) out.push_back(static_cast<int>(i));
+  return out;
+}
+
+std::vector<int> Vocabulary::action_indices() const {
+  std::vector<int> out;
+  for (std::size_t i = 0; i < names_.size(); ++i)
+    if (action_flags_[i]) out.push_back(static_cast<int>(i));
+  return out;
+}
+
+Symbol Vocabulary::env_mask() const {
+  Symbol m = 0;
+  for (int i : prop_indices()) m |= bit(i);
+  return m;
+}
+
+Symbol Vocabulary::action_mask() const {
+  Symbol m = 0;
+  for (int i : action_indices()) m |= bit(i);
+  return m;
+}
+
+Symbol Vocabulary::make_symbol(
+    std::initializer_list<std::string_view> names) const {
+  Symbol sym = 0;
+  for (std::string_view n : names) {
+    const auto idx = find(n);
+    DPOAF_CHECK_MSG(idx.has_value(),
+                    "unknown proposition: " + std::string(n));
+    sym |= bit(*idx);
+  }
+  return sym;
+}
+
+std::string Vocabulary::format(Symbol sym) const {
+  std::string out = "{";
+  bool first = true;
+  for (std::size_t i = 0; i < names_.size(); ++i) {
+    if (!has(sym, static_cast<int>(i))) continue;
+    if (!first) out += ", ";
+    out += names_[i];
+    first = false;
+  }
+  out += "}";
+  return out;
+}
+
+Vocabulary make_driving_vocabulary() {
+  Vocabulary v;
+  v.add_prop("green_traffic_light");
+  v.add_prop("green_left_turn_light");
+  v.add_prop("flashing_left_turn_light");
+  v.add_prop("opposite_car");
+  v.add_prop("car_from_left");
+  v.add_prop("car_from_right");
+  v.add_prop("pedestrian_at_left");
+  v.add_prop("pedestrian_at_right");
+  v.add_prop("pedestrian_in_front");
+  v.add_prop("stop_sign");
+  v.add_action("stop");
+  v.add_action("turn_left");
+  v.add_action("turn_right");
+  v.add_action("go_straight");
+  return v;
+}
+
+}  // namespace dpoaf::logic

@@ -1,0 +1,78 @@
+// Vocabulary: the atomic-proposition sets P (environment behaviours) and
+// P_A (controller actions) from the paper (§3). A Symbol σ ∈ 2^(P ∪ P_A) is
+// a 64-bit mask over the combined index space; environment propositions and
+// action propositions share indices so LTL specifications can mix both
+// (e.g., □(pedestrian → ◇ stop)).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace dpoaf::logic {
+
+/// A truth assignment over the vocabulary: bit i set ⇔ proposition i holds.
+using Symbol = std::uint64_t;
+
+class Vocabulary {
+ public:
+  static constexpr std::size_t kMaxProps = 64;
+
+  /// Register an environment proposition (set P). Returns its index.
+  /// Re-registering an existing name returns the existing index.
+  int add_prop(std::string_view name);
+
+  /// Register an action proposition (set P_A). Returns its index.
+  int add_action(std::string_view name);
+
+  [[nodiscard]] std::optional<int> find(std::string_view name) const;
+  [[nodiscard]] bool is_action(int index) const;
+  [[nodiscard]] const std::string& name(int index) const;
+  [[nodiscard]] std::size_t size() const { return names_.size(); }
+  [[nodiscard]] std::size_t prop_count() const { return prop_count_; }
+  [[nodiscard]] std::size_t action_count() const {
+    return names_.size() - prop_count_;
+  }
+
+  /// Indices of all environment propositions / all actions.
+  [[nodiscard]] std::vector<int> prop_indices() const;
+  [[nodiscard]] std::vector<int> action_indices() const;
+
+  /// Mask with a bit set for every environment proposition / action.
+  [[nodiscard]] Symbol env_mask() const;
+  [[nodiscard]] Symbol action_mask() const;
+
+  [[nodiscard]] static Symbol bit(int index) {
+    return Symbol{1} << static_cast<unsigned>(index);
+  }
+  [[nodiscard]] static bool has(Symbol sym, int index) {
+    return (sym >> static_cast<unsigned>(index)) & 1U;
+  }
+
+  /// Build a symbol from proposition names; all names must exist.
+  [[nodiscard]] Symbol make_symbol(
+      std::initializer_list<std::string_view> names) const;
+
+  /// Render a symbol as "{a, b}" for diagnostics.
+  [[nodiscard]] std::string format(Symbol sym) const;
+
+ private:
+  int add(std::string_view name, bool action);
+
+  std::vector<std::string> names_;
+  std::vector<bool> action_flags_;
+  std::unordered_map<std::string, int> index_;
+  std::size_t prop_count_ = 0;
+};
+
+/// The shared driving-domain vocabulary from §5.1 of the paper:
+/// propositions {green traffic light, green left-turn light, flashing
+/// left-turn light, opposite car, car from left, car from right, pedestrian
+/// at left, pedestrian at right, pedestrian in front, stop sign} and actions
+/// {stop, turn left, turn right, go straight}. Names are underscored.
+Vocabulary make_driving_vocabulary();
+
+}  // namespace dpoaf::logic

@@ -1,0 +1,55 @@
+// LTL → Büchi automaton translation via the GPVW tableau (Gerth, Peled,
+// Vardi, Wolper, PSTV'95 — "Simple on-the-fly automatic verification of
+// linear temporal logic"), the same construction at the core of SPIN and of
+// NuSMV's BDD-free LTL engine. Produces a state-labeled generalized Büchi
+// automaton, then degeneralizes it with the standard counter construction
+// (Baier & Katoen, Principles of Model Checking, Thm. 4.56).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "logic/ltl.hpp"
+#include "logic/vocabulary.hpp"
+
+namespace dpoaf::modelcheck {
+
+using logic::Ltl;
+using logic::Symbol;
+
+/// A state of the (degeneralized) Büchi automaton. The literal constraint
+/// (pos/neg masks over the vocabulary) must be satisfied by the Kripke
+/// label read when *entering* the state.
+struct BuchiState {
+  Symbol pos = 0;  // propositions required true
+  Symbol neg = 0;  // propositions required false
+  bool accepting = false;
+  std::vector<int> successors;
+
+  [[nodiscard]] bool enabled(Symbol label) const {
+    return (label & pos) == pos && (label & neg) == 0;
+  }
+};
+
+struct BuchiAutomaton {
+  std::vector<BuchiState> states;
+  std::vector<int> initial;  // successors of the virtual init node
+
+  [[nodiscard]] std::size_t state_count() const { return states.size(); }
+  [[nodiscard]] std::size_t transition_count() const;
+};
+
+/// Translate an LTL formula (any operators; NNF is applied internally) into
+/// a Büchi automaton accepting exactly the infinite words satisfying it.
+BuchiAutomaton ltl_to_buchi(const Ltl& formula);
+
+/// Diagnostic counters for the ablation/micro benches.
+struct BuchiStats {
+  std::size_t gba_states = 0;
+  std::size_t acceptance_sets = 0;
+  std::size_t ba_states = 0;
+  std::size_t ba_transitions = 0;
+};
+BuchiAutomaton ltl_to_buchi(const Ltl& formula, BuchiStats& stats);
+
+}  // namespace dpoaf::modelcheck

@@ -1,0 +1,311 @@
+#include "modelcheck/checker.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <map>
+#include <utility>
+
+#include "modelcheck/buchi.hpp"
+#include "util/check.hpp"
+
+namespace dpoaf::modelcheck {
+
+namespace {
+
+// Synchronous product of the Kripke structure with the Büchi automaton for
+// ¬Φ, built on the fly (reachable fragment only).
+struct Product {
+  // product state -> (kripke state, büchi state)
+  std::vector<std::pair<int, int>> states;
+  std::vector<std::vector<int>> succ;
+  std::vector<int> initial;
+  std::vector<bool> accepting;
+};
+
+Product build_product(const Kripke& k, const BuchiAutomaton& ba) {
+  Product prod;
+  std::map<std::pair<int, int>, int> index;
+
+  auto get = [&](int ks, int bs) {
+    const auto key = std::make_pair(ks, bs);
+    if (auto it = index.find(key); it != index.end()) return it->second;
+    const int id = static_cast<int>(prod.states.size());
+    prod.states.push_back(key);
+    prod.succ.emplace_back();
+    prod.accepting.push_back(ba.states[static_cast<std::size_t>(bs)].accepting);
+    index.emplace(key, id);
+    return id;
+  };
+
+  std::deque<int> frontier;
+  for (int ks : k.initial) {
+    for (int bs : ba.initial) {
+      if (!ba.states[static_cast<std::size_t>(bs)].enabled(
+              k.labels[static_cast<std::size_t>(ks)]))
+        continue;
+      const std::size_t before = prod.states.size();
+      const int id = get(ks, bs);
+      prod.initial.push_back(id);
+      if (prod.states.size() > before) frontier.push_back(id);
+    }
+  }
+
+  while (!frontier.empty()) {
+    const int id = frontier.front();
+    frontier.pop_front();
+    const auto [ks, bs] = prod.states[static_cast<std::size_t>(id)];
+    for (int ks2 : k.successors[static_cast<std::size_t>(ks)]) {
+      const logic::Symbol label2 = k.labels[static_cast<std::size_t>(ks2)];
+      for (int bs2 : ba.states[static_cast<std::size_t>(bs)].successors) {
+        if (!ba.states[static_cast<std::size_t>(bs2)].enabled(label2))
+          continue;
+        const std::size_t before = prod.states.size();
+        const int id2 = get(ks2, bs2);
+        prod.succ[static_cast<std::size_t>(id)].push_back(id2);
+        if (prod.states.size() > before) frontier.push_back(id2);
+      }
+    }
+  }
+  return prod;
+}
+
+// Iterative Tarjan SCC (explicit stack; product graphs can be deep).
+std::vector<int> tarjan_scc(const Product& prod, int& scc_count) {
+  const int n = static_cast<int>(prod.states.size());
+  std::vector<int> comp(static_cast<std::size_t>(n), -1);
+  std::vector<int> low(static_cast<std::size_t>(n), 0);
+  std::vector<int> disc(static_cast<std::size_t>(n), -1);
+  std::vector<bool> on_stack(static_cast<std::size_t>(n), false);
+  std::vector<int> stack;
+  scc_count = 0;
+  int timer = 0;
+
+  struct Frame {
+    int v;
+    std::size_t child = 0;
+  };
+
+  for (int start = 0; start < n; ++start) {
+    if (disc[static_cast<std::size_t>(start)] != -1) continue;
+    std::vector<Frame> call;
+    call.push_back({start});
+    disc[static_cast<std::size_t>(start)] =
+        low[static_cast<std::size_t>(start)] = timer++;
+    stack.push_back(start);
+    on_stack[static_cast<std::size_t>(start)] = true;
+
+    while (!call.empty()) {
+      Frame& f = call.back();
+      const auto& out = prod.succ[static_cast<std::size_t>(f.v)];
+      if (f.child < out.size()) {
+        const int w = out[f.child++];
+        if (disc[static_cast<std::size_t>(w)] == -1) {
+          disc[static_cast<std::size_t>(w)] =
+              low[static_cast<std::size_t>(w)] = timer++;
+          stack.push_back(w);
+          on_stack[static_cast<std::size_t>(w)] = true;
+          call.push_back({w});
+        } else if (on_stack[static_cast<std::size_t>(w)]) {
+          low[static_cast<std::size_t>(f.v)] =
+              std::min(low[static_cast<std::size_t>(f.v)],
+                       disc[static_cast<std::size_t>(w)]);
+        }
+      } else {
+        if (low[static_cast<std::size_t>(f.v)] ==
+            disc[static_cast<std::size_t>(f.v)]) {
+          while (true) {
+            const int w = stack.back();
+            stack.pop_back();
+            on_stack[static_cast<std::size_t>(w)] = false;
+            comp[static_cast<std::size_t>(w)] = scc_count;
+            if (w == f.v) break;
+          }
+          ++scc_count;
+        }
+        const int v = f.v;
+        call.pop_back();
+        if (!call.empty()) {
+          const int parent = call.back().v;
+          low[static_cast<std::size_t>(parent)] =
+              std::min(low[static_cast<std::size_t>(parent)],
+                       low[static_cast<std::size_t>(v)]);
+        }
+      }
+    }
+  }
+  return comp;
+}
+
+// BFS path from any of `sources` to `target`; returns the state sequence
+// including both endpoints. Optionally restrict moves to one SCC.
+std::vector<int> bfs_path(const Product& prod, const std::vector<int>& sources,
+                          int target, const std::vector<int>* comp = nullptr,
+                          int restrict_comp = -1) {
+  const int n = static_cast<int>(prod.states.size());
+  std::vector<int> parent(static_cast<std::size_t>(n), -2);
+  std::deque<int> queue;
+  for (int s : sources) {
+    if (parent[static_cast<std::size_t>(s)] != -2) continue;
+    parent[static_cast<std::size_t>(s)] = -1;
+    queue.push_back(s);
+  }
+  while (!queue.empty()) {
+    const int v = queue.front();
+    queue.pop_front();
+    for (int w : prod.succ[static_cast<std::size_t>(v)]) {
+      if (comp != nullptr &&
+          (*comp)[static_cast<std::size_t>(w)] != restrict_comp)
+        continue;
+      if (w == target) {
+        std::vector<int> path;
+        path.push_back(w);
+        int cur = v;
+        while (cur != -1) {
+          path.push_back(cur);
+          cur = parent[static_cast<std::size_t>(cur)];
+        }
+        std::reverse(path.begin(), path.end());
+        return path;
+      }
+      if (parent[static_cast<std::size_t>(w)] != -2) continue;
+      parent[static_cast<std::size_t>(w)] = v;
+      queue.push_back(w);
+    }
+  }
+  // target is a source itself (empty path) or unreachable
+  for (int s : sources)
+    if (s == target) return {target};
+  return {};
+}
+
+}  // namespace
+
+CheckResult check(const Kripke& kripke, const Ltl& spec) {
+  DPOAF_CHECK(spec != nullptr);
+  CheckResult res;
+
+  const BuchiAutomaton ba = ltl_to_buchi(logic::ltl::lnot(spec));
+  res.buchi_states = ba.state_count();
+
+  const Product prod = build_product(kripke, ba);
+  res.product_states = prod.states.size();
+  if (prod.initial.empty()) {
+    res.holds = true;  // no joint run at all ⇒ language of ¬Φ ∩ K is empty
+    return res;
+  }
+
+  int scc_count = 0;
+  const std::vector<int> comp = tarjan_scc(prod, scc_count);
+
+  // A violation is a reachable accepting state inside a non-trivial SCC
+  // (size > 1 or a self-loop). Everything in `prod` is reachable from the
+  // initial states by construction.
+  std::vector<int> comp_size(static_cast<std::size_t>(scc_count), 0);
+  for (int c : comp) ++comp_size[static_cast<std::size_t>(c)];
+
+  int witness = -1;
+  for (std::size_t v = 0; v < prod.states.size(); ++v) {
+    if (!prod.accepting[v]) continue;
+    const int c = comp[v];
+    bool nontrivial = comp_size[static_cast<std::size_t>(c)] > 1;
+    if (!nontrivial) {
+      const auto& out = prod.succ[v];
+      nontrivial = std::find(out.begin(), out.end(), static_cast<int>(v)) !=
+                   out.end();
+    }
+    if (nontrivial) {
+      witness = static_cast<int>(v);
+      break;
+    }
+  }
+
+  if (witness < 0) {
+    res.holds = true;
+    return res;
+  }
+
+  // Counter-example: prefix from an initial state to the witness, then a
+  // cycle through the witness inside its SCC.
+  const std::vector<int> prefix = bfs_path(prod, prod.initial, witness);
+  DPOAF_CHECK(!prefix.empty());
+
+  const int wcomp = comp[static_cast<std::size_t>(witness)];
+  std::vector<int> cycle_sources;
+  for (int w : prod.succ[static_cast<std::size_t>(witness)])
+    if (comp[static_cast<std::size_t>(w)] == wcomp) cycle_sources.push_back(w);
+  DPOAF_CHECK(!cycle_sources.empty());
+  std::vector<int> back = bfs_path(prod, cycle_sources, witness, &comp, wcomp);
+  DPOAF_CHECK(!back.empty());
+
+  res.holds = false;
+  for (std::size_t i = 0; i + 1 < prefix.size(); ++i)
+    res.counterexample.prefix.push_back(
+        prod.states[static_cast<std::size_t>(prefix[i])].first);
+  // Cycle: witness -> back[0] ... -> back.back()==witness (excluded; the
+  // cycle list holds each state once).
+  res.counterexample.cycle.push_back(
+      prod.states[static_cast<std::size_t>(witness)].first);
+  for (std::size_t i = 0; i + 1 < back.size(); ++i)
+    res.counterexample.cycle.push_back(
+        prod.states[static_cast<std::size_t>(back[i])].first);
+  return res;
+}
+
+CheckResult check_under_fairness(const Kripke& kripke, const Ltl& spec,
+                                 const std::vector<Ltl>& assumptions) {
+  if (assumptions.empty()) return check(kripke, spec);
+  const Ltl assume = logic::ltl::land_all(assumptions);
+  return check(kripke, logic::ltl::implies(assume, spec));
+}
+
+std::size_t VerificationReport::satisfied() const {
+  std::size_t n = 0;
+  for (const auto& o : outcomes)
+    if (o.result.holds) ++n;
+  return n;
+}
+
+double VerificationReport::fraction() const {
+  if (outcomes.empty()) return 0.0;
+  return static_cast<double>(satisfied()) /
+         static_cast<double>(outcomes.size());
+}
+
+std::vector<std::string> VerificationReport::violated() const {
+  std::vector<std::string> out;
+  for (const auto& o : outcomes)
+    if (!o.result.holds) out.push_back(o.spec.name);
+  return out;
+}
+
+VerificationReport verify_all(const Kripke& kripke,
+                              const std::vector<NamedSpec>& specs,
+                              const std::vector<Ltl>& fairness) {
+  VerificationReport report;
+  report.outcomes.reserve(specs.size());
+  for (const NamedSpec& spec : specs) {
+    report.outcomes.push_back(
+        {spec, check_under_fairness(kripke, spec.formula, fairness)});
+  }
+  return report;
+}
+
+std::string format_counterexample(const Lasso& lasso, const Kripke& kripke,
+                                  const automata::TransitionSystem& model,
+                                  const automata::FsaController& ctrl,
+                                  const Vocabulary& vocab) {
+  std::string out;
+  for (int s : lasso.prefix) {
+    out += kripke.describe_state(s, model, ctrl, vocab);
+    out += " -> ";
+  }
+  out += "[cycle: ";
+  for (std::size_t i = 0; i < lasso.cycle.size(); ++i) {
+    if (i > 0) out += " -> ";
+    out += kripke.describe_state(lasso.cycle[i], model, ctrl, vocab);
+  }
+  out += " -> ...]";
+  return out;
+}
+
+}  // namespace dpoaf::modelcheck

@@ -1,0 +1,159 @@
+#include "nn/decoder.hpp"
+
+#include <cmath>
+
+#include "util/check.hpp"
+
+namespace dpoaf::nn {
+
+namespace {
+
+// y[out] = x[in] · W + b (+ LoRA delta); single-row inference kernel.
+void row_linear(const Linear& lin, const float* x, float* y) {
+  const std::int64_t in = lin.weight.rows();
+  const std::int64_t out = lin.weight.cols();
+  const float* w = lin.weight.data();
+  const float* b = lin.bias.data();
+  for (std::int64_t j = 0; j < out; ++j) y[j] = b[j];
+  for (std::int64_t i = 0; i < in; ++i) {
+    const float xi = x[i];
+    const float* wr = w + i * out;
+    for (std::int64_t j = 0; j < out; ++j) y[j] += xi * wr[j];
+  }
+  if (lin.lora_enabled()) {
+    const std::int64_t rank = lin.lora_rank();
+    const float* a = lin.lora_a.data();
+    const float* bb = lin.lora_b.data();
+    std::vector<float> xa(static_cast<std::size_t>(rank), 0.0f);
+    for (std::int64_t i = 0; i < in; ++i) {
+      const float xi = x[i];
+      const float* ar = a + i * rank;
+      for (std::int64_t r = 0; r < rank; ++r) xa[static_cast<std::size_t>(r)] += xi * ar[r];
+    }
+    const float scale = lin.lora_scale();
+    for (std::int64_t r = 0; r < rank; ++r) {
+      const float xr = xa[static_cast<std::size_t>(r)] * scale;
+      const float* br = bb + r * out;
+      for (std::int64_t j = 0; j < out; ++j) y[j] += xr * br[j];
+    }
+  }
+}
+
+void row_layer_norm(const LayerNorm& ln, const float* x, std::int64_t n,
+                    float* y) {
+  float mu = 0.0f;
+  for (std::int64_t j = 0; j < n; ++j) mu += x[j];
+  mu /= static_cast<float>(n);
+  float var = 0.0f;
+  for (std::int64_t j = 0; j < n; ++j) var += (x[j] - mu) * (x[j] - mu);
+  var /= static_cast<float>(n);
+  const float inv = 1.0f / std::sqrt(var + 1e-5f);
+  const float* gamma = ln.gamma.data();
+  const float* beta = ln.beta.data();
+  for (std::int64_t j = 0; j < n; ++j)
+    y[j] = (x[j] - mu) * inv * gamma[j] + beta[j];
+}
+
+float gelu_scalar(float x) {
+  constexpr float kC = 0.7978845608028654f;
+  return 0.5f * x * (1.0f + std::tanh(kC * (x + 0.044715f * x * x * x)));
+}
+
+}  // namespace
+
+DecodeSession::DecodeSession(const TinyGpt& model) : model_(model) {
+  const auto& cfg = model_.config();
+  k_cache_.resize(static_cast<std::size_t>(cfg.n_layers));
+  v_cache_.resize(static_cast<std::size_t>(cfg.n_layers));
+  for (auto& c : k_cache_)
+    c.reserve(static_cast<std::size_t>(cfg.max_seq * cfg.d_model));
+  for (auto& c : v_cache_)
+    c.reserve(static_cast<std::size_t>(cfg.max_seq * cfg.d_model));
+  logits_.resize(static_cast<std::size_t>(cfg.vocab_size));
+  x_.resize(static_cast<std::size_t>(cfg.d_model));
+  h_.resize(static_cast<std::size_t>(cfg.d_model));
+  qkv_.resize(static_cast<std::size_t>(3 * cfg.d_model));
+  attn_out_.resize(static_cast<std::size_t>(cfg.d_model));
+  mlp_.resize(static_cast<std::size_t>(cfg.d_ff));
+}
+
+void DecodeSession::reset() {
+  position_ = 0;
+  for (auto& c : k_cache_) c.clear();
+  for (auto& c : v_cache_) c.clear();
+}
+
+const std::vector<float>& DecodeSession::step(int token_id) {
+  const auto& cfg = model_.config();
+  DPOAF_CHECK_MSG(position_ < cfg.max_seq,
+                  "decode session exceeded max_seq");
+  DPOAF_CHECK(token_id >= 0 && token_id < cfg.vocab_size);
+  const std::int64_t d = cfg.d_model;
+  const std::int64_t n_heads = cfg.n_heads;
+  const std::int64_t dh = d / n_heads;
+  const float inv_sqrt = 1.0f / std::sqrt(static_cast<float>(dh));
+
+  // Token + positional embedding.
+  const float* tok = model_.tok_emb_.data() + token_id * d;
+  const float* pos = model_.pos_emb_.data() + position_ * d;
+  for (std::int64_t j = 0; j < d; ++j) x_[static_cast<std::size_t>(j)] = tok[j] + pos[j];
+
+  const std::int64_t t_len = position_ + 1;
+  std::vector<float> scores(static_cast<std::size_t>(t_len));
+  for (std::size_t l = 0; l < model_.blocks_.size(); ++l) {
+    const TransformerBlock& block = model_.blocks_[l];
+
+    // Attention sublayer.
+    row_layer_norm(block.ln1, x_.data(), d, h_.data());
+    row_linear(block.attn.qkv, h_.data(), qkv_.data());
+    auto& kc = k_cache_[l];
+    auto& vc = v_cache_[l];
+    kc.insert(kc.end(), qkv_.begin() + d, qkv_.begin() + 2 * d);
+    vc.insert(vc.end(), qkv_.begin() + 2 * d, qkv_.begin() + 3 * d);
+
+    for (std::int64_t head = 0; head < n_heads; ++head) {
+      const float* q = qkv_.data() + head * dh;
+      // scores over the cached prefix (causal: all cached positions).
+      float mx = -1e30f;
+      for (std::int64_t t = 0; t < t_len; ++t) {
+        const float* kt = kc.data() + t * d + head * dh;
+        float acc = 0.0f;
+        for (std::int64_t j = 0; j < dh; ++j) acc += q[j] * kt[j];
+        scores[static_cast<std::size_t>(t)] = acc * inv_sqrt;
+        mx = std::max(mx, scores[static_cast<std::size_t>(t)]);
+      }
+      float z = 0.0f;
+      for (std::int64_t t = 0; t < t_len; ++t) {
+        scores[static_cast<std::size_t>(t)] =
+            std::exp(scores[static_cast<std::size_t>(t)] - mx);
+        z += scores[static_cast<std::size_t>(t)];
+      }
+      const float inv_z = 1.0f / z;
+      float* ctx = attn_out_.data() + head * dh;
+      for (std::int64_t j = 0; j < dh; ++j) ctx[j] = 0.0f;
+      for (std::int64_t t = 0; t < t_len; ++t) {
+        const float p = scores[static_cast<std::size_t>(t)] * inv_z;
+        const float* vt = vc.data() + t * d + head * dh;
+        for (std::int64_t j = 0; j < dh; ++j) ctx[j] += p * vt[j];
+      }
+    }
+    // Projection + residual (reuse h_ for the projected output).
+    row_linear(block.attn.proj, attn_out_.data(), h_.data());
+    for (std::int64_t j = 0; j < d; ++j) x_[static_cast<std::size_t>(j)] += h_[static_cast<std::size_t>(j)];
+
+    // MLP sublayer.
+    row_layer_norm(block.ln2, x_.data(), d, h_.data());
+    row_linear(block.fc1, h_.data(), mlp_.data());
+    for (std::int64_t j = 0; j < cfg.d_ff; ++j)
+      mlp_[static_cast<std::size_t>(j)] = gelu_scalar(mlp_[static_cast<std::size_t>(j)]);
+    row_linear(block.fc2, mlp_.data(), h_.data());
+    for (std::int64_t j = 0; j < d; ++j) x_[static_cast<std::size_t>(j)] += h_[static_cast<std::size_t>(j)];
+  }
+
+  row_layer_norm(model_.ln_f_, x_.data(), d, h_.data());
+  row_linear(model_.head_, h_.data(), logits_.data());
+  ++position_;
+  return logits_;
+}
+
+}  // namespace dpoaf::nn

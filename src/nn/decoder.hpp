@@ -1,0 +1,47 @@
+// Incremental decoding with per-layer KV caches. TinyGpt::forward
+// recomputes the whole prefix for every generated token (O(T³·d) per
+// response); a DecodeSession feeds one token at a time, caching each
+// layer's keys and values, for O(T²·d) generation — the same optimization
+// every production LLM server applies. Inference-only (no tape).
+//
+// Numerical note: the cached path accumulates in a different order than
+// the batch forward, so logits agree to float tolerance (~1e-4), not
+// bit-exactly; the test suite checks closeness and identical greedy
+// decodes.
+#pragma once
+
+#include <vector>
+
+#include "nn/gpt.hpp"
+
+namespace dpoaf::nn {
+
+class DecodeSession {
+ public:
+  /// Binds to `model` (which must outlive the session). The session
+  /// snapshot includes LoRA adapters if enabled.
+  explicit DecodeSession(const TinyGpt& model);
+
+  /// Feed one token; returns the next-token logits (vocab_size floats).
+  /// Position advances automatically; throws past max_seq.
+  const std::vector<float>& step(int token_id);
+
+  /// Number of tokens consumed so far.
+  [[nodiscard]] std::int64_t position() const { return position_; }
+
+  /// Reset to an empty prefix (caches cleared, position 0).
+  void reset();
+
+ private:
+  const TinyGpt& model_;
+  std::int64_t position_ = 0;
+  // Per layer: cached keys/values, laid out [t * d_model + j] with all
+  // heads packed contiguously (head h occupies columns [h*dh, (h+1)*dh)).
+  std::vector<std::vector<float>> k_cache_;
+  std::vector<std::vector<float>> v_cache_;
+  std::vector<float> logits_;
+  // Scratch buffers reused across steps.
+  std::vector<float> x_, h_, qkv_, attn_out_, mlp_;
+};
+
+}  // namespace dpoaf::nn

@@ -1,0 +1,62 @@
+#include "nn/optim.hpp"
+
+#include <cmath>
+
+#include "util/check.hpp"
+
+namespace dpoaf::nn {
+
+AdamW::AdamW(std::vector<tensor::Tensor> params, AdamWConfig config)
+    : params_(std::move(params)), config_(config) {
+  DPOAF_CHECK_MSG(!params_.empty(), "AdamW needs at least one parameter");
+  m_.reserve(params_.size());
+  v_.reserve(params_.size());
+  for (const auto& p : params_) {
+    m_.emplace_back(static_cast<std::size_t>(p.numel()), 0.0f);
+    v_.emplace_back(static_cast<std::size_t>(p.numel()), 0.0f);
+  }
+}
+
+void AdamW::step() {
+  ++t_;
+  // Global-norm clipping across all parameters.
+  double norm_sq = 0.0;
+  for (auto& p : params_) {
+    const float* g = p.grad();
+    for (std::int64_t i = 0; i < p.numel(); ++i)
+      norm_sq += static_cast<double>(g[i]) * static_cast<double>(g[i]);
+  }
+  last_grad_norm_ = std::sqrt(norm_sq);
+  float clip_scale = 1.0f;
+  if (config_.grad_clip > 0.0f && last_grad_norm_ > config_.grad_clip)
+    clip_scale = config_.grad_clip / static_cast<float>(last_grad_norm_);
+
+  const float bc1 =
+      1.0f - std::pow(config_.beta1, static_cast<float>(t_));
+  const float bc2 =
+      1.0f - std::pow(config_.beta2, static_cast<float>(t_));
+
+  for (std::size_t pi = 0; pi < params_.size(); ++pi) {
+    auto& p = params_[pi];
+    float* w = p.data();
+    const float* g = p.grad();
+    float* m = m_[pi].data();
+    float* v = v_[pi].data();
+    for (std::int64_t i = 0; i < p.numel(); ++i) {
+      const float gi = g[i] * clip_scale;
+      m[i] = config_.beta1 * m[i] + (1.0f - config_.beta1) * gi;
+      v[i] = config_.beta2 * v[i] + (1.0f - config_.beta2) * gi * gi;
+      const float mhat = m[i] / bc1;
+      const float vhat = v[i] / bc2;
+      w[i] -= config_.lr *
+              (mhat / (std::sqrt(vhat) + config_.eps) +
+               config_.weight_decay * w[i]);
+    }
+  }
+}
+
+void AdamW::zero_grad() {
+  for (auto& p : params_) p.zero_grad();
+}
+
+}  // namespace dpoaf::nn

@@ -1,0 +1,43 @@
+// AdamW (decoupled weight decay) over an explicit parameter list.
+#pragma once
+
+#include <vector>
+
+#include "tensor/tensor.hpp"
+
+namespace dpoaf::nn {
+
+struct AdamWConfig {
+  float lr = 3e-4f;
+  float beta1 = 0.9f;
+  float beta2 = 0.999f;
+  float eps = 1e-8f;
+  float weight_decay = 0.0f;
+  float grad_clip = 1.0f;  // global-norm clip; ≤ 0 disables
+};
+
+class AdamW {
+ public:
+  AdamW(std::vector<tensor::Tensor> params, AdamWConfig config);
+
+  /// Apply one update from the accumulated gradients.
+  void step();
+  /// Zero every parameter's gradient buffer.
+  void zero_grad();
+
+  void set_lr(float lr) { config_.lr = lr; }
+  [[nodiscard]] float lr() const { return config_.lr; }
+  [[nodiscard]] std::int64_t steps_taken() const { return t_; }
+  /// Global gradient norm observed at the last step() (pre-clipping).
+  [[nodiscard]] double last_grad_norm() const { return last_grad_norm_; }
+
+ private:
+  std::vector<tensor::Tensor> params_;
+  std::vector<std::vector<float>> m_;
+  std::vector<std::vector<float>> v_;
+  AdamWConfig config_;
+  std::int64_t t_ = 0;
+  double last_grad_norm_ = 0.0;
+};
+
+}  // namespace dpoaf::nn

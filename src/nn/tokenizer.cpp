@@ -1,0 +1,103 @@
+#include "nn/tokenizer.hpp"
+
+#include "util/check.hpp"
+#include "util/strings.hpp"
+
+namespace dpoaf::nn {
+
+namespace {
+constexpr const char* kBos = "<s>";
+constexpr const char* kEos = "</s>";
+constexpr const char* kInstOpen = "[INST]";
+constexpr const char* kInstClose = "[/INST]";
+constexpr const char* kNl = "<nl>";
+constexpr const char* kUnk = "<unk>";
+}  // namespace
+
+std::vector<std::string> Tokenizer::words(std::string_view text) {
+  std::vector<std::string> out;
+  // Newlines become the <nl> token so step structure survives.
+  const std::string with_nl =
+      replace_all(std::string(text), "\n", std::string(" ") + kNl + " ");
+  for (const std::string& raw : split_ws(with_nl)) {
+    if (raw == kNl || raw == kBos || raw == kEos || raw == kInstOpen ||
+        raw == kInstClose) {
+      out.push_back(raw);
+      continue;
+    }
+    std::string w = to_lower(raw);
+    // Split trailing '.' / ',' into their own tokens (possibly several,
+    // e.g. "light.," — rare but cheap to handle).
+    std::vector<std::string> tail;
+    while (!w.empty() && (w.back() == '.' || w.back() == ',')) {
+      tail.insert(tail.begin(), std::string(1, w.back()));
+      w.pop_back();
+    }
+    if (!w.empty()) out.push_back(w);
+    out.insert(out.end(), tail.begin(), tail.end());
+  }
+  return out;
+}
+
+int Tokenizer::add(const std::string& word) {
+  if (auto it = index_.find(word); it != index_.end()) return it->second;
+  const int id = static_cast<int>(words_.size());
+  words_.push_back(word);
+  index_.emplace(word, id);
+  return id;
+}
+
+Tokenizer Tokenizer::build(const std::vector<std::string>& texts) {
+  Tokenizer t;
+  t.unk_ = t.add(kUnk);
+  t.bos_ = t.add(kBos);
+  t.eos_ = t.add(kEos);
+  t.inst_open_ = t.add(kInstOpen);
+  t.inst_close_ = t.add(kInstClose);
+  t.nl_ = t.add(kNl);
+  for (const std::string& text : texts)
+    for (const std::string& w : words(text)) t.add(w);
+  return t;
+}
+
+std::vector<int> Tokenizer::encode(std::string_view text) const {
+  std::vector<int> ids;
+  for (const std::string& w : words(text)) ids.push_back(id_of(w));
+  return ids;
+}
+
+std::string Tokenizer::decode(const std::vector<int>& ids) const {
+  std::string out;
+  for (int id : ids) {
+    const std::string& w = word_of(id);
+    if (w == kNl) {
+      // Strip the space a preceding word added.
+      if (!out.empty() && out.back() == ' ') out.pop_back();
+      out += '\n';
+      continue;
+    }
+    if (w == "." || w == ",") {
+      if (!out.empty() && out.back() == ' ') out.pop_back();
+      out += w;
+      out += ' ';
+      continue;
+    }
+    out += w;
+    out += ' ';
+  }
+  if (!out.empty() && out.back() == ' ') out.pop_back();
+  return out;
+}
+
+int Tokenizer::id_of(std::string_view word) const {
+  if (auto it = index_.find(std::string(word)); it != index_.end())
+    return it->second;
+  return unk_;
+}
+
+const std::string& Tokenizer::word_of(int id) const {
+  DPOAF_CHECK(id >= 0 && static_cast<std::size_t>(id) < words_.size());
+  return words_[static_cast<std::size_t>(id)];
+}
+
+}  // namespace dpoaf::nn

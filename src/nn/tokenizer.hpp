@@ -1,0 +1,45 @@
+// Word-level tokenizer for the driving-instruction corpus, with the
+// Llama-style special tokens the paper's Appendix E prompt format uses
+// (<s>, </s>, [INST], [/INST]) plus a newline token so numbered step lists
+// survive the round trip.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace dpoaf::nn {
+
+class Tokenizer {
+ public:
+  /// Build a vocabulary from the given texts (plus the special tokens and
+  /// <unk>). Tokenization is lowercase word-level with '.', ',' split off.
+  static Tokenizer build(const std::vector<std::string>& texts);
+
+  [[nodiscard]] std::vector<int> encode(std::string_view text) const;
+  [[nodiscard]] std::string decode(const std::vector<int>& ids) const;
+
+  [[nodiscard]] std::size_t vocab_size() const { return words_.size(); }
+  [[nodiscard]] int bos() const { return bos_; }
+  [[nodiscard]] int eos() const { return eos_; }
+  [[nodiscard]] int inst_open() const { return inst_open_; }
+  [[nodiscard]] int inst_close() const { return inst_close_; }
+  [[nodiscard]] int newline() const { return nl_; }
+  [[nodiscard]] int unk() const { return unk_; }
+
+  [[nodiscard]] int id_of(std::string_view word) const;  // unk() if absent
+  [[nodiscard]] const std::string& word_of(int id) const;
+
+  /// Raw word split used by build/encode (exposed for tests).
+  static std::vector<std::string> words(std::string_view text);
+
+ private:
+  int add(const std::string& word);
+
+  std::vector<std::string> words_;
+  std::unordered_map<std::string, int> index_;
+  int bos_ = 0, eos_ = 0, inst_open_ = 0, inst_close_ = 0, nl_ = 0, unk_ = 0;
+};
+
+}  // namespace dpoaf::nn

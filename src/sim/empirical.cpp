@@ -1,0 +1,37 @@
+#include "sim/empirical.hpp"
+
+#include "util/check.hpp"
+
+namespace dpoaf::sim {
+
+double EmpiricalReport::mean_probability() const {
+  if (per_spec.empty()) return 0.0;
+  double acc = 0.0;
+  for (const auto& s : per_spec) acc += s.probability;
+  return acc / static_cast<double>(per_spec.size());
+}
+
+double EmpiricalReport::probability_of(const std::string& spec_name) const {
+  for (const auto& s : per_spec)
+    if (s.spec_name == spec_name) return s.probability;
+  DPOAF_CHECK_MSG(false, "unknown spec in empirical report: " + spec_name);
+  return 0.0;
+}
+
+EmpiricalReport empirical_evaluation(const Simulator& simulator,
+                                     const FsaController& controller,
+                                     const std::vector<NamedSpec>& specs,
+                                     int rollouts, Rng& rng) {
+  const std::vector<logic::Trace> traces =
+      simulator.collect_traces(controller, rollouts, rng);
+  EmpiricalReport report;
+  report.rollouts = rollouts;
+  report.per_spec.reserve(specs.size());
+  for (const NamedSpec& spec : specs) {
+    report.per_spec.push_back(
+        {spec.name, logic::satisfaction_rate(spec.formula, traces)});
+  }
+  return report;
+}
+
+}  // namespace dpoaf::sim

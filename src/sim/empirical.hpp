@@ -1,0 +1,39 @@
+// Empirical evaluation (paper §4.2, Eq. 2): run the controller in the
+// simulated system, check each rollout trace against each specification
+// under finite-trace (LTLf) semantics, and report
+//     P_Φ = (# sequences satisfying Φ) / (total # sequences)
+// per specification — the quantity Figure 11 plots before/after
+// fine-tuning.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "modelcheck/checker.hpp"
+#include "sim/simulator.hpp"
+
+namespace dpoaf::sim {
+
+using modelcheck::NamedSpec;
+
+struct SpecSatisfaction {
+  std::string spec_name;
+  double probability = 0.0;  // P_Φ
+};
+
+struct EmpiricalReport {
+  std::vector<SpecSatisfaction> per_spec;
+  int rollouts = 0;
+
+  [[nodiscard]] double mean_probability() const;
+  [[nodiscard]] double probability_of(const std::string& spec_name) const;
+};
+
+/// Run `rollouts` simulations of `controller` and evaluate every spec on
+/// every trace.
+EmpiricalReport empirical_evaluation(const Simulator& simulator,
+                                     const FsaController& controller,
+                                     const std::vector<NamedSpec>& specs,
+                                     int rollouts, Rng& rng);
+
+}  // namespace dpoaf::sim

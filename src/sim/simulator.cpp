@@ -1,0 +1,52 @@
+#include "sim/simulator.hpp"
+
+#include "util/check.hpp"
+
+namespace dpoaf::sim {
+
+Rollout Simulator::run(const FsaController& controller, Rng& rng) const {
+  DPOAF_CHECK(model_.state_count() > 0);
+  DPOAF_CHECK(controller.state_count() > 0);
+  Rollout rollout;
+  rollout.trace.reserve(static_cast<std::size_t>(config_.horizon));
+
+  auto p = static_cast<automata::ModelStateId>(
+      rng.below(model_.state_count()));
+  automata::CtrlStateId q = controller.initial();
+
+  for (int step = 0; step < config_.horizon; ++step) {
+    Symbol observation = model_.label(p);
+    if (config_.perception_noise > 0.0) {
+      for (int bit = 0; bit < 64; ++bit) {
+        const Symbol mask = Symbol{1} << static_cast<unsigned>(bit);
+        if ((config_.noise_mask & mask) == 0) continue;
+        if (rng.chance(config_.perception_noise)) observation ^= mask;
+      }
+    }
+
+    const auto move = controller.step(q, observation);
+    const Symbol action =
+        move.action == 0 ? config_.epsilon_label : move.action;
+    rollout.trace.push_back(observation | action);
+    rollout.model_states.push_back(p);
+    rollout.ctrl_states.push_back(q);
+
+    q = move.to;
+    const auto& succ = model_.successors(p);
+    if (succ.empty()) break;  // deadlocked environment: end the rollout
+    p = succ[rng.below(succ.size())];
+  }
+  return rollout;
+}
+
+std::vector<Trace> Simulator::collect_traces(const FsaController& controller,
+                                             int count, Rng& rng) const {
+  DPOAF_CHECK(count > 0);
+  std::vector<Trace> traces;
+  traces.reserve(static_cast<std::size_t>(count));
+  for (int i = 0; i < count; ++i)
+    traces.push_back(run(controller, rng).trace);
+  return traces;
+}
+
+}  // namespace dpoaf::sim

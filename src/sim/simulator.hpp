@@ -1,0 +1,71 @@
+// Scenario simulator — the repository's Carla substitute (§4.2, Empirical
+// Evaluation). It executes an FSA controller against stochastic
+// environment dynamics and returns the grounding artifact the paper
+// defines: G(C, S) ∈ (2^P × 2^P_A)^N, a finite sequence of
+// proposition/action pairs describing one operation of the controller in
+// the system.
+//
+// The environment walks the scenario's transition system (uniformly random
+// successor each step, like Carla's traffic randomization); optional
+// perception noise flips each observed proposition independently with a
+// small probability, modeling the sim-to-perception gap. With zero noise
+// the simulator's traces are exactly paths of the abstract model — the
+// premise of Theorem 1 (formal ⟹ empirical), which the test suite checks.
+#pragma once
+
+#include <vector>
+
+#include "automata/controller.hpp"
+#include "automata/transition_system.hpp"
+#include "logic/ltlf.hpp"
+#include "util/rng.hpp"
+
+namespace dpoaf::sim {
+
+using automata::FsaController;
+using automata::TransitionSystem;
+using logic::Symbol;
+using logic::Trace;
+
+struct SimulatorConfig {
+  /// Steps per rollout (the paper's N).
+  int horizon = 40;
+  /// Per-proposition observation flip probability (0 = perfect perception).
+  double perception_noise = 0.0;
+  /// Mask of propositions noise may flip (defaults to every bit; set to
+  /// the environment mask so actions are never corrupted).
+  Symbol noise_mask = ~Symbol{0};
+  /// Replace the controller's ε action with this symbol in the trace
+  /// (driving: {stop}), mirroring the product construction.
+  Symbol epsilon_label = 0;
+};
+
+/// One rollout: the grounding G(C, S). The trace's symbols are
+/// observation ∪ action at each step; `model_states` records the ground
+/// truth path (diagnostics and tests).
+struct Rollout {
+  Trace trace;
+  std::vector<automata::ModelStateId> model_states;
+  std::vector<automata::CtrlStateId> ctrl_states;
+};
+
+class Simulator {
+ public:
+  Simulator(const TransitionSystem& model, SimulatorConfig config)
+      : model_(model), config_(config) {}
+
+  /// Execute `controller` once from a uniformly random initial model state.
+  [[nodiscard]] Rollout run(const FsaController& controller, Rng& rng) const;
+
+  /// Collect `count` independent rollouts.
+  [[nodiscard]] std::vector<Trace> collect_traces(
+      const FsaController& controller, int count, Rng& rng) const;
+
+  [[nodiscard]] const SimulatorConfig& config() const { return config_; }
+
+ private:
+  const TransitionSystem& model_;
+  SimulatorConfig config_;
+};
+
+}  // namespace dpoaf::sim

@@ -1,0 +1,78 @@
+#include "tensor/tensor.hpp"
+
+#include <algorithm>
+
+namespace dpoaf::tensor {
+
+Tensor Tensor::zeros(Shape shape) {
+  Tensor t;
+  t.impl_->shape = shape;
+  t.impl_->data.assign(static_cast<std::size_t>(shape.numel()), 0.0f);
+  return t;
+}
+
+Tensor Tensor::full(Shape shape, float value) {
+  Tensor t = zeros(shape);
+  std::fill(t.impl_->data.begin(), t.impl_->data.end(), value);
+  return t;
+}
+
+Tensor Tensor::from(Shape shape, std::vector<float> values) {
+  DPOAF_CHECK(static_cast<std::int64_t>(values.size()) == shape.numel());
+  Tensor t;
+  t.impl_->shape = shape;
+  t.impl_->data = std::move(values);
+  return t;
+}
+
+Tensor Tensor::randn(Shape shape, Rng& rng, float scale) {
+  Tensor t = zeros(shape);
+  for (float& v : t.impl_->data)
+    v = static_cast<float>(rng.normal()) * scale;
+  return t;
+}
+
+float Tensor::item() const {
+  DPOAF_CHECK_MSG(numel() == 1, "item() requires a scalar tensor");
+  return impl_->data[0];
+}
+
+float& Tensor::at(std::int64_t r, std::int64_t c) {
+  DPOAF_DCHECK(r >= 0 && r < rows() && c >= 0 && c < cols());
+  return impl_->data[static_cast<std::size_t>(r * cols() + c)];
+}
+
+float Tensor::at(std::int64_t r, std::int64_t c) const {
+  DPOAF_DCHECK(r >= 0 && r < rows() && c >= 0 && c < cols());
+  return impl_->data[static_cast<std::size_t>(r * cols() + c)];
+}
+
+float* Tensor::grad() {
+  if (impl_->grad.empty())
+    impl_->grad.assign(impl_->data.size(), 0.0f);
+  return impl_->grad.data();
+}
+
+void Tensor::zero_grad() {
+  std::fill(impl_->grad.begin(), impl_->grad.end(), 0.0f);
+}
+
+Tensor Tensor::clone() const {
+  Tensor t;
+  t.impl_->shape = impl_->shape;
+  t.impl_->data = impl_->data;
+  t.impl_->requires_grad = impl_->requires_grad;
+  return t;
+}
+
+void Tape::backward() {
+  for (auto it = nodes_.rbegin(); it != nodes_.rend(); ++it) (*it)();
+}
+
+void Tape::backward(Tensor loss) {
+  DPOAF_CHECK_MSG(loss.numel() == 1, "backward() seeds a scalar loss");
+  loss.grad()[0] = 1.0f;
+  backward();
+}
+
+}  // namespace dpoaf::tensor

@@ -1,0 +1,50 @@
+// Lightweight contract checking. DPOAF_CHECK is always on (these guard
+// library invariants and user-facing API misuse, not hot inner loops);
+// DPOAF_DCHECK compiles away in release builds.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace dpoaf {
+
+/// Thrown when a library precondition or invariant is violated.
+class ContractViolation : public std::logic_error {
+ public:
+  explicit ContractViolation(const std::string& what) : std::logic_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void contract_fail(const char* kind, const char* expr,
+                                       const char* file, int line,
+                                       const std::string& msg) {
+  std::ostringstream os;
+  os << kind << " failed: (" << expr << ") at " << file << ":" << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw ContractViolation(os.str());
+}
+}  // namespace detail
+
+}  // namespace dpoaf
+
+#define DPOAF_CHECK(expr)                                                     \
+  do {                                                                        \
+    if (!(expr))                                                              \
+      ::dpoaf::detail::contract_fail("CHECK", #expr, __FILE__, __LINE__, ""); \
+  } while (0)
+
+#define DPOAF_CHECK_MSG(expr, msg)                                           \
+  do {                                                                       \
+    if (!(expr))                                                             \
+      ::dpoaf::detail::contract_fail("CHECK", #expr, __FILE__, __LINE__,     \
+                                     (msg));                                 \
+  } while (0)
+
+#ifdef NDEBUG
+#define DPOAF_DCHECK(expr) \
+  do {                     \
+  } while (0)
+#else
+#define DPOAF_DCHECK(expr) DPOAF_CHECK(expr)
+#endif

@@ -1,0 +1,40 @@
+// String helpers shared by the LTL parser, the semantic parser and the
+// tokenizer. Kept deliberately allocation-simple; none of these sit on a
+// hot path.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace dpoaf {
+
+/// Split on a single character; empty fields are kept.
+std::vector<std::string> split(std::string_view s, char sep);
+
+/// Split on runs of whitespace; empty fields are dropped.
+std::vector<std::string> split_ws(std::string_view s);
+
+/// Strip leading/trailing whitespace.
+std::string trim(std::string_view s);
+
+/// ASCII lowercase.
+std::string to_lower(std::string_view s);
+
+/// Join with a separator.
+std::string join(const std::vector<std::string>& parts, std::string_view sep);
+
+/// True if `s` starts with `prefix`.
+bool starts_with(std::string_view s, std::string_view prefix);
+
+/// Replace every occurrence of `from` with `to`.
+std::string replace_all(std::string s, std::string_view from,
+                        std::string_view to);
+
+/// Levenshtein edit distance (O(len_a * len_b)).
+std::size_t edit_distance(std::string_view a, std::string_view b);
+
+/// Edit distance normalized to [0,1] by the longer length (0 = identical).
+double normalized_edit_distance(std::string_view a, std::string_view b);
+
+}  // namespace dpoaf

@@ -1,0 +1,33 @@
+// Plain-text table / CSV emission for bench harnesses. Each bench prints
+// the same rows/series the paper's figure reports, via these helpers, so
+// all bench output shares one format.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace dpoaf {
+
+/// Column-aligned text table with a title, printed to any ostream.
+class TextTable {
+ public:
+  explicit TextTable(std::string title) : title_(std::move(title)) {}
+
+  void set_header(std::vector<std::string> header);
+  void add_row(std::vector<std::string> row);
+
+  /// Convenience: format doubles with fixed precision.
+  static std::string num(double v, int precision = 4);
+
+  void print(std::ostream& os) const;
+  /// RFC-4180-ish CSV (no quoting needed for our numeric content).
+  void print_csv(std::ostream& os) const;
+
+ private:
+  std::string title_;
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace dpoaf

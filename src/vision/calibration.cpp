@@ -1,0 +1,73 @@
+#include "vision/calibration.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.hpp"
+
+namespace dpoaf::vision {
+
+std::vector<CalibrationBin> calibration_curve(
+    const std::vector<DetectionSample>& samples, int bins) {
+  DPOAF_CHECK(bins > 0);
+  std::vector<CalibrationBin> curve(static_cast<std::size_t>(bins));
+  const double width = 1.0 / bins;
+  for (int b = 0; b < bins; ++b) {
+    curve[static_cast<std::size_t>(b)].conf_lo = b * width;
+    curve[static_cast<std::size_t>(b)].conf_hi = (b + 1) * width;
+  }
+  for (const DetectionSample& s : samples) {
+    auto b = static_cast<std::size_t>(
+        std::min<int>(bins - 1, static_cast<int>(s.confidence * bins)));
+    CalibrationBin& bin = curve[b];
+    bin.mean_confidence += s.confidence;
+    bin.accuracy += s.correct ? 1.0 : 0.0;
+    ++bin.count;
+  }
+  for (CalibrationBin& bin : curve) {
+    if (bin.count == 0) continue;
+    bin.mean_confidence /= bin.count;
+    bin.accuracy /= bin.count;
+  }
+  return curve;
+}
+
+double expected_calibration_error(const std::vector<CalibrationBin>& curve) {
+  std::size_t total = 0;
+  for (const CalibrationBin& bin : curve) total += static_cast<std::size_t>(bin.count);
+  if (total == 0) return 0.0;
+  double ece = 0.0;
+  for (const CalibrationBin& bin : curve) {
+    if (bin.count == 0) continue;
+    ece += (static_cast<double>(bin.count) / static_cast<double>(total)) *
+           std::fabs(bin.accuracy - bin.mean_confidence);
+  }
+  return ece;
+}
+
+double max_accuracy_gap(const std::vector<CalibrationBin>& a,
+                        const std::vector<CalibrationBin>& b) {
+  DPOAF_CHECK(a.size() == b.size());
+  double gap = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (a[i].count == 0 || b[i].count == 0) continue;
+    gap = std::max(gap, std::fabs(a[i].accuracy - b[i].accuracy));
+  }
+  return gap;
+}
+
+double mean_accuracy_gap(const std::vector<CalibrationBin>& a,
+                         const std::vector<CalibrationBin>& b) {
+  DPOAF_CHECK(a.size() == b.size());
+  double acc = 0.0;
+  double weight = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (a[i].count == 0 || b[i].count == 0) continue;
+    const double w = static_cast<double>(a[i].count + b[i].count);
+    acc += w * std::fabs(a[i].accuracy - b[i].accuracy);
+    weight += w;
+  }
+  return weight > 0.0 ? acc / weight : 0.0;
+}
+
+}  // namespace dpoaf::vision

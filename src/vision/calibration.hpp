@@ -1,0 +1,39 @@
+// Confidence calibration (the method of Yang et al. 2023 used in §5.3):
+// group detections by confidence bin and compute per-bin accuracy, giving
+// the confidence→accuracy mapping of Figure 12. Two domains "perform
+// consistently" when their mappings approximately coincide across all
+// confidence levels.
+#pragma once
+
+#include <vector>
+
+#include "vision/detector.hpp"
+
+namespace dpoaf::vision {
+
+struct CalibrationBin {
+  double conf_lo = 0.0;
+  double conf_hi = 0.0;
+  double mean_confidence = 0.0;
+  double accuracy = 0.0;
+  int count = 0;
+};
+
+/// Equal-width confidence bins over [0,1]; empty bins keep count 0.
+std::vector<CalibrationBin> calibration_curve(
+    const std::vector<DetectionSample>& samples, int bins = 10);
+
+/// Expected calibration error: Σ (n_b / N) |acc_b − conf_b|.
+double expected_calibration_error(const std::vector<CalibrationBin>& curve);
+
+/// Maximum per-bin accuracy gap between two curves (bins empty in either
+/// curve are skipped). This is the Figure-12 consistency metric: small ⇒
+/// the detector performs consistently in both domains.
+double max_accuracy_gap(const std::vector<CalibrationBin>& a,
+                        const std::vector<CalibrationBin>& b);
+
+/// Count-weighted mean accuracy gap between two curves.
+double mean_accuracy_gap(const std::vector<CalibrationBin>& a,
+                         const std::vector<CalibrationBin>& b);
+
+}  // namespace dpoaf::vision

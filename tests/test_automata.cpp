@@ -1,0 +1,301 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "automata/controller.hpp"
+#include "automata/product.hpp"
+#include "automata/transition_system.hpp"
+#include "util/check.hpp"
+
+namespace dpoaf::automata {
+namespace {
+
+using logic::Symbol;
+using logic::Vocabulary;
+
+class AutomataTest : public ::testing::Test {
+ protected:
+  AutomataTest() : vocab_(logic::make_driving_vocabulary()) {
+    green_ = *vocab_.find("green_traffic_light");
+    car_left_ = *vocab_.find("car_from_left");
+    stop_ = *vocab_.find("stop");
+    go_ = *vocab_.find("go_straight");
+  }
+  Vocabulary vocab_;
+  int green_ = 0, car_left_ = 0, stop_ = 0, go_ = 0;
+};
+
+// --------------------------------------------------- TransitionSystem ---
+
+TEST_F(AutomataTest, AddStatesAndTransitions) {
+  TransitionSystem ts;
+  const auto p0 = ts.add_state(Vocabulary::bit(green_), "green");
+  const auto p1 = ts.add_state(0, "red");
+  ts.add_transition(p0, p1);
+  ts.add_transition(p1, p0);
+  ts.add_transition(p0, p1);  // duplicate ignored
+  EXPECT_EQ(ts.state_count(), 2u);
+  EXPECT_EQ(ts.transition_count(), 2u);
+  EXPECT_TRUE(ts.has_transition(p0, p1));
+  EXPECT_FALSE(ts.has_transition(p1, p1));
+  EXPECT_EQ(ts.name(p0), "green");
+  EXPECT_EQ(ts.label(p0), Vocabulary::bit(green_));
+}
+
+TEST_F(AutomataTest, OutOfRangeTransitionThrows) {
+  TransitionSystem ts;
+  ts.add_state(0);
+  EXPECT_THROW(ts.add_transition(0, 5), ContractViolation);
+  EXPECT_THROW((void)ts.label(-1), ContractViolation);
+}
+
+TEST_F(AutomataTest, DeadlockStatesDetected) {
+  TransitionSystem ts;
+  const auto p0 = ts.add_state(0);
+  const auto p1 = ts.add_state(0);
+  ts.add_transition(p0, p1);
+  const auto dead = ts.deadlock_states();
+  ASSERT_EQ(dead.size(), 1u);
+  EXPECT_EQ(dead[0], p1);
+}
+
+TEST_F(AutomataTest, IntegrateFormsDisjointUnion) {
+  TransitionSystem a;
+  const auto a0 = a.add_state(1, "a0");
+  a.add_transition(a0, a0);
+  TransitionSystem b;
+  const auto b0 = b.add_state(2, "b0");
+  const auto b1 = b.add_state(4, "b1");
+  b.add_transition(b0, b1);
+
+  const auto offset = a.integrate(b);
+  EXPECT_EQ(offset, 1);
+  EXPECT_EQ(a.state_count(), 3u);
+  EXPECT_TRUE(a.has_transition(offset, offset + 1));
+  EXPECT_FALSE(a.has_transition(a0, offset));  // no cross edges
+  EXPECT_EQ(a.label(offset + 1), 4u);
+}
+
+// Algorithm 1: traffic light cycling red→green→yellow→red from the paper's
+// own illustration (§4.1); uses three dedicated propositions.
+TEST_F(AutomataTest, Algorithm1TrafficLightExample) {
+  Vocabulary v;
+  const int g = v.add_prop("green");
+  const int y = v.add_prop("yellow");
+  const int r = v.add_prop("red");
+  const Symbol G = Vocabulary::bit(g), Y = Vocabulary::bit(y),
+               R = Vocabulary::bit(r);
+  auto allowed = [&](Symbol from, Symbol to) {
+    return (from == G && to == Y) || (from == Y && to == R) ||
+           (from == R && to == G);
+  };
+  const auto ts =
+      TransitionSystem::from_predicate({g, y, r}, allowed, false);
+  // Pruning removes all states except the three single-light labelings.
+  EXPECT_EQ(ts.state_count(), 3u);
+  EXPECT_EQ(ts.transition_count(), 3u);
+  std::set<Symbol> labels;
+  for (std::size_t p = 0; p < ts.state_count(); ++p)
+    labels.insert(ts.label(static_cast<ModelStateId>(p)));
+  EXPECT_EQ(labels, (std::set<Symbol>{G, Y, R}));
+}
+
+TEST_F(AutomataTest, Algorithm1ConservativeKeepsAllStates) {
+  Vocabulary v;
+  const int g = v.add_prop("green");
+  const int y = v.add_prop("yellow");
+  auto allowed = [&](Symbol from, Symbol to) {
+    return from == Vocabulary::bit(g) && to == Vocabulary::bit(y);
+  };
+  const auto pruned = TransitionSystem::from_predicate({g, y}, allowed, false);
+  const auto conservative =
+      TransitionSystem::from_predicate({g, y}, allowed, true);
+  EXPECT_EQ(pruned.state_count(), 2u);
+  EXPECT_EQ(conservative.state_count(), 4u);  // 2^2 labelings kept
+  EXPECT_EQ(conservative.transition_count(), pruned.transition_count());
+}
+
+TEST_F(AutomataTest, Algorithm1SelfLoopCountsAsTouched) {
+  Vocabulary v;
+  const int g = v.add_prop("green");
+  auto allowed = [&](Symbol from, Symbol to) {
+    return from == to && from == Vocabulary::bit(g);
+  };
+  const auto ts = TransitionSystem::from_predicate({g}, allowed, false);
+  EXPECT_EQ(ts.state_count(), 1u);
+  EXPECT_TRUE(ts.has_transition(0, 0));
+}
+
+// ------------------------------------------------------- FsaController ---
+
+TEST_F(AutomataTest, GuardMatching) {
+  Guard g;
+  g.must_true = Vocabulary::bit(green_);
+  g.must_false = Vocabulary::bit(car_left_);
+  EXPECT_TRUE(g.matches(Vocabulary::bit(green_)));
+  EXPECT_FALSE(g.matches(0));
+  EXPECT_FALSE(
+      g.matches(Vocabulary::bit(green_) | Vocabulary::bit(car_left_)));
+  EXPECT_TRUE(Guard::top().matches(0));
+  EXPECT_TRUE(Guard::top().matches(~Symbol{0}));
+}
+
+TEST_F(AutomataTest, ContradictoryGuardRejected) {
+  FsaController c;
+  const auto q0 = c.add_state();
+  Guard g;
+  g.must_true = g.must_false = Vocabulary::bit(green_);
+  EXPECT_THROW(c.add_transition(q0, g, 0, q0), ContractViolation);
+}
+
+TEST_F(AutomataTest, ImplicitWaitSelfLoop) {
+  FsaController c(Vocabulary::bit(stop_));
+  const auto q0 = c.add_state();
+  const auto q1 = c.add_state();
+  Guard needs_green;
+  needs_green.must_true = Vocabulary::bit(green_);
+  c.add_transition(q0, needs_green, Vocabulary::bit(go_), q1);
+
+  // Green present: explicit transition fires.
+  const auto on = c.moves(q0, Vocabulary::bit(green_));
+  ASSERT_EQ(on.size(), 1u);
+  EXPECT_EQ(on[0].to, q1);
+  EXPECT_EQ(on[0].action, Vocabulary::bit(go_));
+
+  // Green absent: implicit wait with the default action.
+  const auto off = c.moves(q0, 0);
+  ASSERT_EQ(off.size(), 1u);
+  EXPECT_EQ(off[0].to, q0);
+  EXPECT_EQ(off[0].action, Vocabulary::bit(stop_));
+}
+
+TEST_F(AutomataTest, StepUsesInsertionOrderPriority) {
+  FsaController c;
+  const auto q0 = c.add_state();
+  const auto q1 = c.add_state();
+  const auto q2 = c.add_state();
+  c.add_transition(q0, Guard::top(), Vocabulary::bit(stop_), q1);
+  c.add_transition(q0, Guard::top(), Vocabulary::bit(go_), q2);
+  EXPECT_EQ(c.step(q0, 0).to, q1);  // first-declared wins
+  EXPECT_EQ(c.moves(q0, 0).size(), 2u);
+}
+
+TEST_F(AutomataTest, DescribeRendersGuardsAndActions) {
+  FsaController c(Vocabulary::bit(stop_));
+  const auto q0 = c.add_state("observe");
+  const auto q1 = c.add_state("go");
+  Guard g;
+  g.must_true = Vocabulary::bit(green_);
+  g.must_false = Vocabulary::bit(car_left_);
+  c.add_transition(q0, g, Vocabulary::bit(go_), q1);
+  const std::string text = c.describe(vocab_);
+  EXPECT_NE(text.find("green_traffic_light"), std::string::npos);
+  EXPECT_NE(text.find("!car_from_left"), std::string::npos);
+  EXPECT_NE(text.find("go_straight"), std::string::npos);
+}
+
+// ------------------------------------------------------------ product ---
+
+TEST_F(AutomataTest, ProductLabelsUnionModelAndAction) {
+  // One-state model labeled {green}; controller immediately goes straight.
+  TransitionSystem m;
+  const auto p0 = m.add_state(Vocabulary::bit(green_));
+  m.add_transition(p0, p0);
+
+  FsaController c(Vocabulary::bit(stop_));
+  const auto q0 = c.add_state();
+  Guard needs_green;
+  needs_green.must_true = Vocabulary::bit(green_);
+  c.add_transition(q0, needs_green, Vocabulary::bit(go_), q0);
+
+  const Kripke k = make_product(m, c);
+  ASSERT_EQ(k.state_count(), 1u);
+  EXPECT_EQ(k.labels[0], Vocabulary::bit(green_) | Vocabulary::bit(go_));
+  ASSERT_EQ(k.initial.size(), 1u);
+  EXPECT_EQ(k.successors[0], std::vector<int>{0});
+}
+
+TEST_F(AutomataTest, ProductEpsilonMapsToConfiguredLabel) {
+  TransitionSystem m;
+  const auto p0 = m.add_state(0);
+  m.add_transition(p0, p0);
+  FsaController c;  // default action ε
+  c.add_state();
+
+  ProductOptions opt;
+  opt.epsilon_label = Vocabulary::bit(stop_);
+  const Kripke k = make_product(m, c, opt);
+  ASSERT_EQ(k.state_count(), 1u);
+  EXPECT_EQ(k.labels[0], Vocabulary::bit(stop_));
+  EXPECT_EQ(k.origin[0].action, 0u);  // the origin still records ε itself
+}
+
+TEST_F(AutomataTest, ProductInitialStatesCoverAllModelStates) {
+  // Two disconnected model states — the product must verify from both, as
+  // the paper checks all possible initial states.
+  TransitionSystem m;
+  const auto p0 = m.add_state(Vocabulary::bit(green_), "g");
+  const auto p1 = m.add_state(0, "r");
+  m.add_transition(p0, p0);
+  m.add_transition(p1, p1);
+
+  FsaController c(Vocabulary::bit(stop_));
+  c.add_state();
+
+  const Kripke k = make_product(m, c);
+  EXPECT_EQ(k.initial.size(), 2u);
+  std::set<int> models;
+  for (int s : k.initial) models.insert(k.origin[static_cast<std::size_t>(s)].model_state);
+  EXPECT_EQ(models, (std::set<int>{p0, p1}));
+}
+
+TEST_F(AutomataTest, ProductBranchesOverNondeterministicModel) {
+  // Model: p0 -> {p1, p2}; controller: single wait state. Product from p0
+  // must reach configurations over both successors.
+  TransitionSystem m;
+  const auto p0 = m.add_state(0, "p0");
+  const auto p1 = m.add_state(Vocabulary::bit(green_), "p1");
+  const auto p2 = m.add_state(Vocabulary::bit(car_left_), "p2");
+  m.add_transition(p0, p1);
+  m.add_transition(p0, p2);
+  m.add_transition(p1, p0);
+  m.add_transition(p2, p0);
+
+  FsaController c(Vocabulary::bit(stop_));
+  c.add_state();
+  const Kripke k = make_product(m, c);
+  EXPECT_EQ(k.state_count(), 3u);
+  EXPECT_EQ(k.transition_count(), 4u);
+}
+
+TEST_F(AutomataTest, ProductStuttersDeadlockStates) {
+  TransitionSystem m;
+  m.add_state(0);  // deadlocked model state
+  FsaController c;
+  c.add_state();
+  const Kripke k = make_product(m, c);
+  ASSERT_EQ(k.state_count(), 1u);
+  EXPECT_EQ(k.successors[0], std::vector<int>{0});  // stutter self-loop
+
+  ProductOptions opt;
+  opt.stutter_deadlocks = false;
+  const Kripke k2 = make_product(m, c, opt);
+  EXPECT_TRUE(k2.successors[0].empty());
+}
+
+TEST_F(AutomataTest, DescribeStateUsesPaperNotation) {
+  TransitionSystem m;
+  const auto p0 = m.add_state(Vocabulary::bit(green_), "p0");
+  m.add_transition(p0, p0);
+  FsaController c(Vocabulary::bit(stop_));
+  c.add_state("q0");
+  const Kripke k = make_product(m, c);
+  const std::string s = k.describe_state(0, m, c, vocab_);
+  EXPECT_NE(s.find("p0"), std::string::npos);
+  EXPECT_NE(s.find("q0"), std::string::npos);
+  EXPECT_NE(s.find("stop"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace dpoaf::automata

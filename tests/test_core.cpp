@@ -1,0 +1,113 @@
+#include <gtest/gtest.h>
+
+#include "core/pipeline.hpp"
+#include "util/check.hpp"
+
+namespace dpoaf::core {
+namespace {
+
+// Micro configuration: exercises every pipeline stage in a few seconds.
+PipelineConfig micro_config() {
+  PipelineConfig cfg;
+  cfg.seed = 11;
+  cfg.d_model = 16;
+  cfg.n_heads = 2;
+  cfg.n_layers = 1;
+  cfg.d_ff = 32;
+  cfg.corpus_samples_per_task = 6;
+  cfg.pretrain.epochs = 2;
+  cfg.responses_per_task = 4;
+  cfg.candidates_from_catalog = true;  // deterministic candidates
+  cfg.dpo.epochs = 4;
+  cfg.dpo.checkpoint_every = 2;
+  cfg.dpo.pairs_per_epoch = 16;
+  cfg.dpo.lora_rank = 2;
+  cfg.eval_samples_per_task = 2;
+  cfg.eval_max_new_tokens = 24;
+  return cfg;
+}
+
+TEST(Pipeline, ConstructionSizesModelToCorpus) {
+  DpoAfPipeline pipe(micro_config());
+  EXPECT_GT(pipe.tokenizer().vocab_size(), 40u);
+  EXPECT_GT(pipe.model().config().max_seq, 40);
+  EXPECT_EQ(pipe.model().config().vocab_size,
+            static_cast<std::int64_t>(pipe.tokenizer().vocab_size()));
+}
+
+TEST(Pipeline, CatalogCandidatesMatchFormalFeedback) {
+  DpoAfPipeline pipe(micro_config());
+  const auto candidates = pipe.collect_candidates();
+  // Training tasks only.
+  EXPECT_EQ(candidates.size(), 5u);
+  for (const auto& tc : candidates) {
+    const auto& task = pipe.domain().task_by_id(tc.task_id);
+    EXPECT_TRUE(task.training);
+    ASSERT_EQ(tc.candidates.size(), task.variants.size());
+    for (std::size_t i = 0; i < tc.candidates.size(); ++i) {
+      EXPECT_EQ(tc.candidates[i].score,
+                pipe.score_response(task, task.variants[i].text));
+    }
+  }
+}
+
+TEST(Pipeline, SamplingRequiresPretraining) {
+  auto cfg = micro_config();
+  cfg.candidates_from_catalog = false;
+  DpoAfPipeline pipe(cfg);
+  EXPECT_THROW((void)pipe.collect_candidates(), ContractViolation);
+}
+
+TEST(Pipeline, PairsAreBuiltAcrossTrainingTasks) {
+  DpoAfPipeline pipe(micro_config());
+  const auto pairs = pipe.build_pairs(pipe.collect_candidates());
+  EXPECT_GT(pairs.size(), 50u);  // catalog variants give many ordered pairs
+  for (const auto& pair : pairs)
+    EXPECT_GT(pair.score_chosen, pair.score_rejected);
+}
+
+TEST(Pipeline, FullRunProducesFigureSeries) {
+  DpoAfPipeline pipe(micro_config());
+  pipe.pretrain_model();
+  const auto result = pipe.run_dpo(pipe.build_pairs(pipe.collect_candidates()));
+
+  // Figure 8 series: one row per epoch.
+  ASSERT_EQ(result.metrics.size(), 4u);
+  for (const auto& m : result.metrics) {
+    EXPECT_GE(m.loss, 0.0);
+    EXPECT_GE(m.accuracy, 0.0);
+    EXPECT_LE(m.accuracy, 1.0);
+  }
+  // Figure 9 series: checkpoints at 0, 2, 4.
+  ASSERT_EQ(result.checkpoints.size(), 3u);
+  EXPECT_EQ(result.checkpoints[0].epoch, 0);
+  EXPECT_EQ(result.checkpoints[1].epoch, 2);
+  EXPECT_EQ(result.checkpoints[2].epoch, 4);
+  for (const auto& ckpt : result.checkpoints) {
+    EXPECT_EQ(ckpt.per_task.size(), pipe.domain().tasks().size());
+    EXPECT_GE(ckpt.train_mean_satisfied, 0.0);
+    EXPECT_LE(ckpt.train_mean_satisfied, 15.0);
+    EXPECT_GE(ckpt.val_mean_satisfied, 0.0);
+    EXPECT_LE(ckpt.val_mean_satisfied, 15.0);
+  }
+  EXPECT_GT(result.pair_count, 0u);
+}
+
+TEST(Pipeline, EvaluationIsDeterministicPerSeedAndEpoch) {
+  DpoAfPipeline pipe(micro_config());
+  const auto a = pipe.evaluate_model(pipe.model(), 7);
+  const auto b = pipe.evaluate_model(pipe.model(), 7);
+  ASSERT_EQ(a.per_task.size(), b.per_task.size());
+  for (std::size_t i = 0; i < a.per_task.size(); ++i)
+    EXPECT_EQ(a.per_task[i].second, b.per_task[i].second);
+}
+
+TEST(Pipeline, ScoreResponseMatchesDomainFeedback) {
+  DpoAfPipeline pipe(micro_config());
+  const auto& task = pipe.domain().task_by_id("turn_right_traffic_light");
+  EXPECT_EQ(pipe.score_response(task, driving::paper_right_turn_after()), 15);
+  EXPECT_EQ(pipe.score_response(task, "gibberish that cannot align"), -1);
+}
+
+}  // namespace
+}  // namespace dpoaf::core

@@ -1,0 +1,377 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "nn/gpt.hpp"
+#include "nn/optim.hpp"
+#include "nn/tokenizer.hpp"
+#include "util/check.hpp"
+
+namespace dpoaf::nn {
+namespace {
+
+namespace ops = tensor::ops;
+using tensor::Tape;
+using tensor::Tensor;
+
+// ------------------------------------------------------------ tokenizer ---
+
+TEST(Tokenizer, WordSplitLowercasesAndSeparatesPunctuation) {
+  const auto w = Tokenizer::words("1. Observe the Traffic light.");
+  ASSERT_EQ(w.size(), 7u);
+  EXPECT_EQ(w[0], "1");
+  EXPECT_EQ(w[1], ".");
+  EXPECT_EQ(w[2], "observe");
+  EXPECT_EQ(w[6], ".");
+}
+
+TEST(Tokenizer, NewlinesBecomeTokens) {
+  const auto w = Tokenizer::words("a\nb");
+  ASSERT_EQ(w.size(), 3u);
+  EXPECT_EQ(w[1], "<nl>");
+}
+
+TEST(Tokenizer, EncodeDecodeRoundTripsStepLists) {
+  const std::string text =
+      "1. Observe the traffic light.\n2. If no car from the left, turn "
+      "right.";
+  Tokenizer tok = Tokenizer::build({text});
+  const auto ids = tok.encode(text);
+  const std::string back = tok.decode(ids);
+  EXPECT_EQ(back,
+            "1. observe the traffic light.\n2. if no car from the left, "
+            "turn right.");
+}
+
+TEST(Tokenizer, UnknownWordsMapToUnk) {
+  Tokenizer tok = Tokenizer::build({"known words"});
+  const auto ids = tok.encode("unknown");
+  ASSERT_EQ(ids.size(), 1u);
+  EXPECT_EQ(ids[0], tok.unk());
+}
+
+TEST(Tokenizer, SpecialTokensAreRegistered) {
+  Tokenizer tok = Tokenizer::build({});
+  EXPECT_NE(tok.bos(), tok.eos());
+  EXPECT_EQ(tok.id_of("<s>"), tok.bos());
+  EXPECT_EQ(tok.id_of("[INST]"), tok.inst_open());
+  EXPECT_EQ(tok.id_of("[/INST]"), tok.inst_close());
+  EXPECT_EQ(tok.vocab_size(), 6u);  // specials only
+}
+
+TEST(Tokenizer, SpecialTokensSurviveEncode) {
+  Tokenizer tok = Tokenizer::build({"steps for x"});
+  const auto ids = tok.encode("<s> [INST] steps for x [/INST]");
+  ASSERT_GE(ids.size(), 2u);
+  EXPECT_EQ(ids[0], tok.bos());
+  EXPECT_EQ(ids[1], tok.inst_open());
+  EXPECT_EQ(ids.back(), tok.inst_close());
+}
+
+// -------------------------------------------------------------- modules ---
+
+TEST(Modules, LinearForwardShape) {
+  Rng rng(1);
+  Linear lin(4, 3, rng, 0.1f);
+  Tensor x = Tensor::randn({5, 4}, rng);
+  Tensor y = lin.forward(nullptr, x);
+  EXPECT_EQ(y.rows(), 5);
+  EXPECT_EQ(y.cols(), 3);
+}
+
+TEST(Modules, LoraStartsAsIdentityUpdate) {
+  Rng rng(2);
+  Linear lin(4, 4, rng, 0.1f);
+  Tensor x = Tensor::randn({3, 4}, rng);
+  Tensor before = lin.forward(nullptr, x);
+  lin.enable_lora(2, 4.0f, rng);
+  Tensor after = lin.forward(nullptr, x);
+  for (std::int64_t i = 0; i < before.numel(); ++i)
+    EXPECT_FLOAT_EQ(after.data()[i], before.data()[i]);  // B starts at zero
+}
+
+TEST(Modules, LoraFreezesBaseAndTrainsAdapters) {
+  Rng rng(3);
+  Linear lin(4, 4, rng, 0.1f);
+  lin.enable_lora(2, 4.0f, rng);
+  EXPECT_FALSE(lin.weight.requires_grad());
+  EXPECT_TRUE(lin.lora_a.requires_grad());
+  EXPECT_TRUE(lin.lora_b.requires_grad());
+  EXPECT_THROW(lin.enable_lora(2, 4.0f, rng), ContractViolation);
+
+  // Gradients reach the adapters through the forward pass.
+  Tensor x = Tensor::randn({2, 4}, rng);
+  Tape tape;
+  Tensor loss = ops::sum(&tape, lin.forward(&tape, x));
+  tape.backward(loss);
+  EXPECT_FALSE(lin.weight.has_grad());
+  EXPECT_TRUE(lin.lora_a.has_grad());
+}
+
+TEST(Modules, AttentionIsCausal) {
+  // Changing a later token must not change earlier outputs.
+  Rng rng(4);
+  CausalSelfAttention attn(8, 2, rng, 0.1f);
+  Tensor x = Tensor::randn({4, 8}, rng);
+  Tensor y1 = attn.forward(nullptr, x);
+  Tensor x2 = x.clone();
+  x2.at(3, 0) += 10.0f;  // perturb the last position
+  Tensor y2 = attn.forward(nullptr, x2);
+  for (std::int64_t t = 0; t < 3; ++t)
+    for (std::int64_t j = 0; j < 8; ++j)
+      EXPECT_FLOAT_EQ(y1.at(t, j), y2.at(t, j)) << "t=" << t;
+}
+
+TEST(Modules, TransformerBlockPreservesShape) {
+  Rng rng(5);
+  TransformerBlock block(8, 2, 16, rng, 0.1f);
+  Tensor x = Tensor::randn({6, 8}, rng);
+  Tensor y = block.forward(nullptr, x);
+  EXPECT_EQ(y.rows(), 6);
+  EXPECT_EQ(y.cols(), 8);
+}
+
+// ------------------------------------------------------------------ GPT ---
+
+GptConfig tiny_config() {
+  GptConfig c;
+  c.vocab_size = 20;
+  c.d_model = 16;
+  c.n_heads = 2;
+  c.n_layers = 2;
+  c.d_ff = 32;
+  c.max_seq = 16;
+  return c;
+}
+
+TEST(Gpt, ForwardShapeAndCausality) {
+  Rng rng(6);
+  TinyGpt model(tiny_config(), rng);
+  const std::vector<int> ids{1, 2, 3, 4};
+  Tensor logits = model.forward(nullptr, ids);
+  EXPECT_EQ(logits.rows(), 4);
+  EXPECT_EQ(logits.cols(), 20);
+
+  // Prefix logits are independent of suffix tokens.
+  const std::vector<int> ids2{1, 2, 3, 7};
+  Tensor logits2 = model.forward(nullptr, ids2);
+  for (std::int64_t j = 0; j < 20; ++j) {
+    EXPECT_FLOAT_EQ(logits.at(0, j), logits2.at(0, j));
+    EXPECT_FLOAT_EQ(logits.at(2, j), logits2.at(2, j));
+  }
+}
+
+TEST(Gpt, SequenceLimitsEnforced) {
+  Rng rng(7);
+  TinyGpt model(tiny_config(), rng);
+  EXPECT_THROW((void)model.forward(nullptr, {}), ContractViolation);
+  EXPECT_THROW((void)model.forward(nullptr, std::vector<int>(17, 1)),
+               ContractViolation);
+}
+
+TEST(Gpt, TrainingReducesLoss) {
+  Rng rng(8);
+  TinyGpt model(tiny_config(), rng);
+  const std::vector<int> seq{1, 5, 9, 5, 1, 5, 9, 5};
+  AdamWConfig cfg;
+  cfg.lr = 1e-2f;
+  AdamW opt(model.trainable_parameters(), cfg);
+  const float before = model.nll_loss(nullptr, seq).item();
+  for (int step = 0; step < 30; ++step) {
+    Tape tape;
+    Tensor loss = model.nll_loss(&tape, seq);
+    opt.zero_grad();
+    tape.backward(loss);
+    opt.step();
+  }
+  const float after = model.nll_loss(nullptr, seq).item();
+  EXPECT_LT(after, before * 0.5f);
+}
+
+TEST(Gpt, ResponseLogProbMatchesManualSum) {
+  Rng rng(9);
+  TinyGpt model(tiny_config(), rng);
+  const std::vector<int> ids{1, 2, 3, 4, 5};
+  const std::int64_t prompt_len = 2;
+  const double lp = model.response_log_prob_value(ids, prompt_len);
+
+  // Manual: Σ_{t=prompt_len-1}^{T-2} log softmax(logits[t])[ids[t+1]]
+  Tensor logits = model.forward(nullptr, ids);
+  double manual = 0.0;
+  for (std::int64_t t = prompt_len - 1; t + 1 < 5; ++t) {
+    double mx = -1e30;
+    for (std::int64_t j = 0; j < 20; ++j)
+      mx = std::max(mx, static_cast<double>(logits.at(t, j)));
+    double z = 0.0;
+    for (std::int64_t j = 0; j < 20; ++j)
+      z += std::exp(static_cast<double>(logits.at(t, j)) - mx);
+    manual +=
+        static_cast<double>(logits.at(t, ids[static_cast<std::size_t>(t + 1)])) -
+        mx - std::log(z);
+  }
+  EXPECT_NEAR(lp, manual, 1e-3);
+}
+
+TEST(Gpt, ResponseLogProbValidatesPromptLen) {
+  Rng rng(10);
+  TinyGpt model(tiny_config(), rng);
+  EXPECT_THROW((void)model.response_log_prob_value({1, 2}, 2),
+               ContractViolation);
+  EXPECT_THROW((void)model.response_log_prob_value({1, 2}, 0),
+               ContractViolation);
+}
+
+TEST(Gpt, StateRoundTrip) {
+  Rng rng(11);
+  TinyGpt model(tiny_config(), rng);
+  const auto snapshot = model.state();
+  const std::vector<int> seq{3, 1, 4, 1, 5};
+  const float loss0 = model.nll_loss(nullptr, seq).item();
+
+  // Perturb, then restore.
+  AdamWConfig cfg;
+  cfg.lr = 1e-2f;
+  AdamW opt(model.trainable_parameters(), cfg);
+  Tape tape;
+  Tensor loss = model.nll_loss(&tape, seq);
+  tape.backward(loss);
+  opt.step();
+  EXPECT_NE(model.nll_loss(nullptr, seq).item(), loss0);
+  model.load_state(snapshot);
+  EXPECT_FLOAT_EQ(model.nll_loss(nullptr, seq).item(), loss0);
+
+  EXPECT_THROW(model.load_state(std::vector<float>(3, 0.0f)),
+               ContractViolation);
+}
+
+TEST(Gpt, CloneIsIndependent) {
+  Rng rng(12);
+  TinyGpt model(tiny_config(), rng);
+  TinyGpt copy = model.clone();
+  const std::vector<int> seq{1, 2, 3};
+  EXPECT_FLOAT_EQ(model.nll_loss(nullptr, seq).item(),
+                  copy.nll_loss(nullptr, seq).item());
+  // Training the original must not affect the clone.
+  AdamWConfig cfg;
+  cfg.lr = 5e-2f;
+  AdamW opt(model.trainable_parameters(), cfg);
+  Tape tape;
+  Tensor loss = model.nll_loss(&tape, seq);
+  tape.backward(loss);
+  opt.step();
+  EXPECT_NE(model.nll_loss(nullptr, seq).item(),
+            copy.nll_loss(nullptr, seq).item());
+}
+
+TEST(Gpt, LoraShrinksTrainableSet) {
+  Rng rng(13);
+  TinyGpt model(tiny_config(), rng);
+  const std::size_t full = model.trainable_parameter_count();
+  model.enable_lora(2, 4.0f, rng);
+  const std::size_t lora = model.trainable_parameter_count();
+  EXPECT_LT(lora, full / 4);
+  EXPECT_GT(lora, 0u);
+  // Forward unchanged at initialization.
+  TinyGpt base = model.clone();
+  EXPECT_FLOAT_EQ(model.nll_loss(nullptr, {1, 2, 3}).item(),
+                  base.nll_loss(nullptr, {1, 2, 3}).item());
+}
+
+TEST(Gpt, LoraCloneKeepsAdapters) {
+  Rng rng(14);
+  TinyGpt model(tiny_config(), rng);
+  model.enable_lora(2, 4.0f, rng);
+  TinyGpt copy = model.clone();
+  EXPECT_TRUE(copy.lora_enabled());
+  EXPECT_EQ(copy.trainable_parameter_count(),
+            model.trainable_parameter_count());
+}
+
+TEST(Gpt, GenerateStopsAtEosAndRespectsMaxNew) {
+  Rng rng(15);
+  TinyGpt model(tiny_config(), rng);
+  Rng sampler(42);
+  const auto out = model.generate({1, 2}, 5, 1.0f, 0, /*eos=*/0, sampler);
+  EXPECT_LE(out.size(), 5u);
+  for (int id : out) EXPECT_NE(id, 0);  // eos never included
+}
+
+TEST(Gpt, GenerateIsDeterministicGivenSeed) {
+  Rng rng(16);
+  TinyGpt model(tiny_config(), rng);
+  Rng s1(7), s2(7);
+  EXPECT_EQ(model.generate({1}, 8, 0.8f, 5, 0, s1),
+            model.generate({1}, 8, 0.8f, 5, 0, s2));
+}
+
+TEST(Gpt, GreedyPicksArgmaxAfterOverfitting) {
+  Rng rng(17);
+  TinyGpt model(tiny_config(), rng);
+  const std::vector<int> seq{2, 4, 6, 8, 2, 4, 6, 8};
+  AdamWConfig cfg;
+  cfg.lr = 1e-2f;
+  AdamW opt(model.trainable_parameters(), cfg);
+  for (int step = 0; step < 80; ++step) {
+    Tape tape;
+    Tensor loss = model.nll_loss(&tape, seq);
+    opt.zero_grad();
+    tape.backward(loss);
+    opt.step();
+  }
+  const auto out = model.generate_greedy({2, 4}, 3, 0);
+  ASSERT_EQ(out.size(), 3u);
+  EXPECT_EQ(out[0], 6);
+  EXPECT_EQ(out[1], 8);
+  EXPECT_EQ(out[2], 2);
+}
+
+// ---------------------------------------------------------------- AdamW ---
+
+TEST(AdamW, ConvergesOnQuadratic) {
+  // minimize (w − 3)² — gradient supplied manually.
+  Tensor w = Tensor::from({1, 1}, {0.0f}).set_requires_grad(true);
+  AdamWConfig cfg;
+  cfg.lr = 0.1f;
+  AdamW opt({w}, cfg);
+  for (int i = 0; i < 300; ++i) {
+    opt.zero_grad();
+    w.grad()[0] = 2.0f * (w.data()[0] - 3.0f);
+    opt.step();
+  }
+  EXPECT_NEAR(w.data()[0], 3.0f, 1e-2f);
+  EXPECT_EQ(opt.steps_taken(), 300);
+}
+
+TEST(AdamW, GradClipBoundsUpdate) {
+  Tensor w = Tensor::from({1, 1}, {0.0f}).set_requires_grad(true);
+  AdamWConfig cfg;
+  cfg.lr = 0.1f;
+  cfg.grad_clip = 1.0f;
+  AdamW opt({w}, cfg);
+  w.grad()[0] = 1e6f;
+  opt.step();
+  EXPECT_NEAR(opt.last_grad_norm(), 1e6, 1e2);
+  EXPECT_LT(std::fabs(w.data()[0]), 0.2f);  // clipped step stays small
+}
+
+TEST(AdamW, WeightDecayPullsTowardZero) {
+  Tensor w = Tensor::from({1, 1}, {1.0f}).set_requires_grad(true);
+  AdamWConfig cfg;
+  cfg.lr = 0.01f;
+  cfg.weight_decay = 0.1f;
+  AdamW opt({w}, cfg);
+  for (int i = 0; i < 100; ++i) {
+    opt.zero_grad();  // zero gradient: only decay acts
+    opt.step();
+  }
+  EXPECT_LT(w.data()[0], 1.0f);
+  EXPECT_GT(w.data()[0], 0.0f);
+}
+
+TEST(AdamW, RequiresParameters) {
+  AdamWConfig cfg;
+  EXPECT_THROW(AdamW({}, cfg), ContractViolation);
+}
+
+}  // namespace
+}  // namespace dpoaf::nn

@@ -1,0 +1,229 @@
+// Cross-module property tests: randomized sweeps over the invariants that
+// tie the subsystems together (product construction vs Appendix A, the
+// GLM2FSA grammar, LTL operator dualities on finite traces).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "automata/product.hpp"
+#include "driving/domain.hpp"
+#include "logic/lasso_eval.hpp"
+#include "logic/ltlf.hpp"
+#include "sim/simulator.hpp"
+#include "util/rng.hpp"
+
+namespace dpoaf {
+namespace {
+
+using automata::FsaController;
+using automata::Guard;
+using automata::Kripke;
+using automata::TransitionSystem;
+using logic::Symbol;
+using logic::Vocabulary;
+
+class PropertySweep : public ::testing::TestWithParam<int> {
+ protected:
+  static const driving::DrivingDomain& domain() {
+    static driving::DrivingDomain d;
+    return d;
+  }
+};
+
+// ---------------------------------------------- product invariants ------
+
+TEST_P(PropertySweep, ProductStatesSatisfyAppendixA) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 31 + 5);
+  const auto& vocab = domain().vocab();
+
+  // Random model over 3 random env propositions.
+  const auto props = vocab.prop_indices();
+  TransitionSystem model;
+  const int n_states = 2 + static_cast<int>(rng.below(5));
+  for (int p = 0; p < n_states; ++p) {
+    Symbol label = 0;
+    for (int k = 0; k < 3; ++k)
+      if (rng.chance(0.5)) label |= Vocabulary::bit(props[rng.below(props.size())]);
+    model.add_state(label);
+  }
+  for (int p = 0; p < n_states; ++p) {
+    model.add_transition(p, static_cast<int>(rng.below(
+                                static_cast<std::uint64_t>(n_states))));
+    if (rng.chance(0.5))
+      model.add_transition(p, static_cast<int>(rng.below(
+                                  static_cast<std::uint64_t>(n_states))));
+  }
+
+  // Random controller.
+  const auto actions = vocab.action_indices();
+  FsaController ctrl(domain().stop_action());
+  const int n_ctrl = 1 + static_cast<int>(rng.below(4));
+  for (int q = 0; q < n_ctrl; ++q) ctrl.add_state();
+  for (int q = 0; q < n_ctrl; ++q) {
+    Guard g;
+    if (rng.chance(0.6)) {
+      const int bit = props[rng.below(props.size())];
+      if (rng.chance(0.5))
+        g.must_true |= Vocabulary::bit(bit);
+      else
+        g.must_false |= Vocabulary::bit(bit);
+    }
+    const Symbol action = Vocabulary::bit(actions[rng.below(actions.size())]);
+    ctrl.add_transition(q, g, action,
+                        static_cast<int>(rng.below(
+                            static_cast<std::uint64_t>(n_ctrl))));
+  }
+
+  const Kripke k = automata::make_product(model, ctrl,
+                                          domain().product_options());
+  ASSERT_GT(k.state_count(), 0u);
+  const Symbol action_mask = vocab.action_mask();
+  for (std::size_t s = 0; s < k.state_count(); ++s) {
+    const auto& origin = k.origin[s];
+    // Label = λ_M(p) ∪ a (ε replaced by the configured stop label).
+    const Symbol expected_action =
+        origin.action == 0 ? domain().stop_action() : origin.action;
+    EXPECT_EQ(k.labels[s] & ~action_mask, model.label(origin.model_state));
+    EXPECT_EQ(k.labels[s] & action_mask, expected_action);
+    // The recorded action must be one the controller can emit there.
+    const auto moves =
+        ctrl.moves(origin.ctrl_state, model.label(origin.model_state));
+    const bool emittable =
+        std::any_of(moves.begin(), moves.end(), [&](const auto& m) {
+          return m.action == origin.action;
+        });
+    EXPECT_TRUE(emittable);
+    // Every state has a successor (stutter extension).
+    EXPECT_FALSE(k.successors[s].empty());
+  }
+  // Initial states start in q0 and cover every model state.
+  std::vector<bool> covered(model.state_count(), false);
+  for (int s : k.initial) {
+    EXPECT_EQ(k.origin[static_cast<std::size_t>(s)].ctrl_state,
+              ctrl.initial());
+    covered[static_cast<std::size_t>(
+        k.origin[static_cast<std::size_t>(s)].model_state)] = true;
+  }
+  for (std::size_t p = 0; p < model.state_count(); ++p)
+    EXPECT_TRUE(covered[p]) << "model state " << p << " not in initial set";
+}
+
+// ------------------------------------------------ GLM2FSA grammar -------
+
+TEST_P(PropertySweep, RandomGrammaticalStepListsAlwaysCompile) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 97 + 3);
+  const std::vector<std::string> conds{
+      "no car from the left", "no pedestrian on the right",
+      "the green traffic light is on", "no oncoming traffic",
+      "no car from the right", "no pedestrian in front"};
+  const std::vector<std::string> acts{"turn right", "turn left",
+                                      "go straight", "stop"};
+  const std::vector<std::string> observes{
+      "the traffic light", "the stop sign", "the left turn light"};
+
+  const int n_steps = 1 + static_cast<int>(rng.below(5));
+  std::string text;
+  for (int i = 0; i < n_steps; ++i) {
+    text += std::to_string(i + 1) + ". ";
+    switch (rng.below(3)) {
+      case 0:
+        text += "Observe " + observes[rng.below(observes.size())] + ".";
+        break;
+      case 1: {
+        text += "If " + conds[rng.below(conds.size())];
+        if (rng.chance(0.5)) text += " and " + conds[rng.below(conds.size())];
+        text += ", " + acts[rng.below(acts.size())] + ".";
+        break;
+      }
+      default:
+        text += "Wait until " + conds[rng.below(conds.size())] + ".";
+        break;
+    }
+    text += "\n";
+  }
+
+  const auto result = glm2fsa::glm2fsa(text, domain().aligner(),
+                                       domain().build_options());
+  // Contradictory conjunctions ("X and no X") are legitimately rejected;
+  // everything else must compile with one state and transition per step.
+  bool contradiction = false;
+  for (const auto& issue : result.parsed.issues)
+    contradiction |= issue.message == "contradictory condition";
+  if (contradiction) return;
+  ASSERT_TRUE(result.parsed.ok()) << text;
+  EXPECT_EQ(result.controller.state_count(),
+            static_cast<std::size_t>(n_steps));
+  EXPECT_EQ(result.controller.transitions().size(),
+            static_cast<std::size_t>(n_steps));
+  // Verification never crashes on grammatical controllers.
+  const auto fb = driving::formal_feedback(
+      domain(), driving::ScenarioId::TrafficLight, text);
+  EXPECT_GE(fb.score(), 0);
+}
+
+// ------------------------------------------- LTL dualities (finite) -----
+
+TEST_P(PropertySweep, LtlfOperatorDualities) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 13 + 7);
+  using namespace logic::ltl;
+  const auto props = domain().vocab().prop_indices();
+  const logic::Ltl a = prop(props[rng.below(props.size())]);
+  const logic::Ltl b = prop(props[rng.below(props.size())]);
+
+  logic::Trace trace;
+  const std::size_t len = 1 + rng.below(8);
+  for (std::size_t t = 0; t < len; ++t) {
+    Symbol sym = 0;
+    for (int bit : props)
+      if (rng.chance(0.4)) sym |= Vocabulary::bit(bit);
+    trace.push_back(sym);
+  }
+
+  // ¬◇φ ≡ □¬φ, ¬□φ ≡ ◇¬φ, ¬(φUψ) ≡ ¬φ R ¬ψ, φRψ ≡ ¬(¬φ U ¬ψ).
+  EXPECT_EQ(logic::evaluate_ltlf(lnot(eventually(a)), trace),
+            logic::evaluate_ltlf(always(lnot(a)), trace));
+  EXPECT_EQ(logic::evaluate_ltlf(lnot(always(a)), trace),
+            logic::evaluate_ltlf(eventually(lnot(a)), trace));
+  EXPECT_EQ(logic::evaluate_ltlf(lnot(until(a, b)), trace),
+            logic::evaluate_ltlf(release(lnot(a), lnot(b)), trace));
+  EXPECT_EQ(logic::evaluate_ltlf(release(a, b), trace),
+            logic::evaluate_ltlf(lnot(until(lnot(a), lnot(b))), trace));
+  // ◇φ ≡ true U φ and □φ ≡ false R φ.
+  EXPECT_EQ(logic::evaluate_ltlf(eventually(a), trace),
+            logic::evaluate_ltlf(until(ltrue(), a), trace));
+  EXPECT_EQ(logic::evaluate_ltlf(always(a), trace),
+            logic::evaluate_ltlf(release(lfalse(), a), trace));
+}
+
+// ----------------------------------- simulator path soundness -----------
+
+TEST_P(PropertySweep, NoiselessRolloutsAreModelPathsInEveryScenario) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 41 + 11);
+  for (driving::ScenarioId id : driving::all_scenarios()) {
+    const auto& model = domain().model(id);
+    // Any aligned catalog controller will do; pick one at random.
+    const auto& tasks = domain().tasks();
+    const auto& task = tasks[rng.below(tasks.size())];
+    const auto& variant = task.variants[0];  // Good is always first
+    auto g2f = glm2fsa::glm2fsa(variant.text, domain().aligner(),
+                                domain().build_options());
+    ASSERT_TRUE(g2f.parsed.ok());
+
+    sim::SimulatorConfig cfg;
+    cfg.horizon = 15;
+    cfg.epsilon_label = domain().stop_action();
+    sim::Simulator simulator(model, cfg);
+    const auto rollout = simulator.run(g2f.controller, rng);
+    for (std::size_t t = 0; t + 1 < rollout.model_states.size(); ++t)
+      ASSERT_TRUE(model.has_transition(rollout.model_states[t],
+                                       rollout.model_states[t + 1]))
+          << driving::scenario_name(id);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, PropertySweep, ::testing::Range(0, 40));
+
+}  // namespace
+}  // namespace dpoaf

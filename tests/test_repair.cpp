@@ -1,0 +1,95 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "core/repair.hpp"
+
+namespace dpoaf::core {
+namespace {
+
+using driving::DrivingDomain;
+using driving::ScenarioId;
+
+class RepairTest : public ::testing::Test {
+ protected:
+  static const DrivingDomain& domain() {
+    static DrivingDomain d;
+    return d;
+  }
+  static automata::FsaController build(const std::string& text) {
+    auto r = glm2fsa::glm2fsa(text, domain().aligner(),
+                              domain().build_options());
+    EXPECT_TRUE(r.parsed.ok());
+    return r.controller;
+  }
+};
+
+TEST_F(RepairTest, RepairsPaperBeforeControllerToFullCompliance) {
+  const auto result = repair_controller(
+      domain(), ScenarioId::TrafficLight, build(driving::paper_right_turn_before()));
+  EXPECT_EQ(result.score_before, 11);
+  EXPECT_EQ(result.score_after, 15);
+  EXPECT_GT(result.iterations, 0);
+  // Φ5 (the paper's highlighted violation) must be among the patches.
+  EXPECT_NE(std::find(result.patched_specs.begin(),
+                      result.patched_specs.end(), "phi_5"),
+            result.patched_specs.end());
+}
+
+TEST_F(RepairTest, CompliantControllerIsLeftUntouched) {
+  const auto controller = build(driving::paper_right_turn_after());
+  const auto result =
+      repair_controller(domain(), ScenarioId::TrafficLight, controller);
+  EXPECT_EQ(result.score_before, 15);
+  EXPECT_EQ(result.score_after, 15);
+  EXPECT_EQ(result.iterations, 0);
+  EXPECT_TRUE(result.patched_specs.empty());
+  EXPECT_EQ(result.controller.transitions().size(),
+            controller.transitions().size());
+}
+
+TEST_F(RepairTest, RepairNeverDecreasesTheScore) {
+  for (const auto& task : domain().tasks()) {
+    for (const auto& variant : task.variants) {
+      if (variant.tag == driving::FlawTag::Unaligned) continue;
+      auto g2f = glm2fsa::glm2fsa(variant.text, domain().aligner(),
+                                  domain().build_options());
+      ASSERT_TRUE(g2f.parsed.ok()) << task.id;
+      const auto result =
+          repair_controller(domain(), task.scenario, g2f.controller);
+      EXPECT_GE(result.score_after, result.score_before)
+          << task.id << "/" << driving::flaw_name(variant.tag);
+    }
+  }
+}
+
+TEST_F(RepairTest, RepairsLeftTurnPhi12) {
+  const auto result = repair_controller(
+      domain(), ScenarioId::LeftTurnSignal,
+      build(driving::paper_left_turn_before()));
+  EXPECT_GT(result.score_after, result.score_before);
+  // The unprotected-turn safety rules must be restored.
+  const auto product = automata::make_product(
+      domain().model(ScenarioId::LeftTurnSignal), result.controller,
+      domain().product_options());
+  const auto report =
+      modelcheck::verify_all(product, domain().specs(),
+                             domain().fairness(ScenarioId::LeftTurnSignal));
+  const auto violated = report.violated();
+  EXPECT_EQ(std::find(violated.begin(), violated.end(), "phi_12"),
+            violated.end());
+  EXPECT_EQ(std::find(violated.begin(), violated.end(), "phi_2"),
+            violated.end());
+}
+
+TEST_F(RepairTest, IterationBudgetRespected) {
+  RepairOptions opt;
+  opt.max_iterations = 1;
+  const auto result = repair_controller(
+      domain(), ScenarioId::TrafficLight,
+      build(driving::paper_right_turn_before()), opt);
+  EXPECT_LE(result.iterations, 1);
+}
+
+}  // namespace
+}  // namespace dpoaf::core

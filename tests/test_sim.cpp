@@ -1,0 +1,204 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "automata/product.hpp"
+#include "driving/domain.hpp"
+#include "sim/empirical.hpp"
+#include "sim/simulator.hpp"
+#include "util/check.hpp"
+
+namespace dpoaf::sim {
+namespace {
+
+using driving::DrivingDomain;
+using driving::ScenarioId;
+
+class SimTest : public ::testing::Test {
+ protected:
+  static const DrivingDomain& domain() {
+    static DrivingDomain d;
+    return d;
+  }
+
+  static SimulatorConfig noiseless(int horizon = 30) {
+    SimulatorConfig cfg;
+    cfg.horizon = horizon;
+    cfg.perception_noise = 0.0;
+    cfg.epsilon_label = domain().stop_action();
+    return cfg;
+  }
+
+  static FsaController after_controller() {
+    auto result =
+        glm2fsa::glm2fsa(driving::paper_right_turn_after(),
+                         domain().aligner(), domain().build_options());
+    DPOAF_CHECK(result.parsed.ok());
+    return result.controller;
+  }
+
+  static FsaController before_controller() {
+    auto result =
+        glm2fsa::glm2fsa(driving::paper_right_turn_before(),
+                         domain().aligner(), domain().build_options());
+    DPOAF_CHECK(result.parsed.ok());
+    return result.controller;
+  }
+};
+
+TEST_F(SimTest, RolloutHasRequestedHorizon) {
+  Simulator sim(domain().model(ScenarioId::TrafficLight), noiseless(25));
+  Rng rng(1);
+  const auto rollout = sim.run(after_controller(), rng);
+  EXPECT_EQ(rollout.trace.size(), 25u);
+  EXPECT_EQ(rollout.model_states.size(), 25u);
+  EXPECT_EQ(rollout.ctrl_states.size(), 25u);
+}
+
+TEST_F(SimTest, NoiselessRolloutFollowsModelTransitions) {
+  const auto& model = domain().model(ScenarioId::TrafficLight);
+  Simulator sim(model, noiseless(40));
+  Rng rng(2);
+  const auto rollout = sim.run(after_controller(), rng);
+  for (std::size_t t = 0; t + 1 < rollout.model_states.size(); ++t)
+    EXPECT_TRUE(model.has_transition(rollout.model_states[t],
+                                     rollout.model_states[t + 1]));
+}
+
+TEST_F(SimTest, TraceSymbolsAreObservationUnionAction) {
+  const auto& model = domain().model(ScenarioId::TrafficLight);
+  Simulator sim(model, noiseless(20));
+  Rng rng(3);
+  const auto rollout = sim.run(after_controller(), rng);
+  const auto action_mask = domain().vocab().action_mask();
+  for (std::size_t t = 0; t < rollout.trace.size(); ++t) {
+    // Environment part matches the ground-truth model state label.
+    EXPECT_EQ(rollout.trace[t] & ~action_mask,
+              model.label(rollout.model_states[t]));
+    // Exactly the mapped action bits appear in the action part.
+    EXPECT_NE(rollout.trace[t] & action_mask, 0u);  // ε mapped to stop
+  }
+}
+
+TEST_F(SimTest, EpsilonLabelSubstitutesEmptyAction) {
+  // A controller with no transitions always waits with ε.
+  FsaController idle;  // ε default action
+  idle.add_state();
+  SimulatorConfig cfg = noiseless(5);
+  Simulator sim(domain().model(ScenarioId::Roundabout), cfg);
+  Rng rng(4);
+  const auto rollout = sim.run(idle, rng);
+  for (const auto sym : rollout.trace)
+    EXPECT_NE(sym & domain().stop_action(), 0u);
+}
+
+TEST_F(SimTest, PerceptionNoiseFlipsOnlyMaskedBits) {
+  SimulatorConfig cfg = noiseless(200);
+  cfg.perception_noise = 0.3;
+  cfg.noise_mask = domain().vocab().env_mask();
+  const auto& model = domain().model(ScenarioId::TrafficLight);
+  Simulator sim(model, cfg);
+  Rng rng(5);
+  const auto rollout = sim.run(after_controller(), rng);
+  bool some_flip = false;
+  for (std::size_t t = 0; t < rollout.trace.size(); ++t) {
+    const auto truth = model.label(rollout.model_states[t]);
+    const auto observed = rollout.trace[t] & domain().vocab().env_mask();
+    if (observed != truth) some_flip = true;
+  }
+  EXPECT_TRUE(some_flip);
+}
+
+TEST_F(SimTest, CollectTracesCountAndDeterminism) {
+  Simulator sim(domain().model(ScenarioId::TrafficLight), noiseless(10));
+  Rng r1(7), r2(7);
+  const auto t1 = sim.collect_traces(after_controller(), 5, r1);
+  const auto t2 = sim.collect_traces(after_controller(), 5, r2);
+  ASSERT_EQ(t1.size(), 5u);
+  EXPECT_EQ(t1, t2);
+}
+
+// Theorem 1 (paper Appendix B): when the model captures the system
+// completely (here: the simulator IS the model, zero noise), formal
+// verification implies empirical satisfaction. The implication is exact
+// for safety specifications (G over state predicates); liveness
+// specifications can be truncated by the finite horizon, so the theorem's
+// infinite-trace statement does not transfer to LTLf for them.
+TEST_F(SimTest, Theorem1FormalImpliesEmpiricalForSafetySpecs) {
+  const std::vector<std::string> safety = {
+      "phi_2", "phi_3", "phi_5", "phi_6", "phi_9",
+      "phi_11", "phi_12", "phi_14", "phi_15"};
+  const auto& model = domain().model(ScenarioId::TrafficLight);
+  const auto controller = after_controller();
+
+  // Formal verification first.
+  const auto product =
+      automata::make_product(model, controller, domain().product_options());
+  const auto report = modelcheck::verify_all(
+      product, domain().specs(), domain().fairness(ScenarioId::TrafficLight));
+  for (const auto& outcome : report.outcomes)
+    ASSERT_TRUE(outcome.result.holds) << outcome.spec.name;
+
+  // Empirical: every noiseless rollout must satisfy every safety spec.
+  Simulator sim(model, noiseless(40));
+  Rng rng(11);
+  const auto empirical =
+      empirical_evaluation(sim, controller, domain().specs(), 300, rng);
+  for (const auto& name : safety)
+    EXPECT_EQ(empirical.probability_of(name), 1.0) << name;
+}
+
+TEST_F(SimTest, ViolatingControllerShowsInEmpiricalEvaluation) {
+  // The paper-before controller formally violates Φ5; with enough rollouts
+  // the violating configuration is hit, so P_Φ5 < 1.
+  const auto& model = domain().model(ScenarioId::TrafficLight);
+  Simulator sim(model, noiseless(40));
+  Rng rng(13);
+  const auto empirical = empirical_evaluation(sim, before_controller(),
+                                              domain().specs(), 500, rng);
+  EXPECT_LT(empirical.probability_of("phi_5"), 1.0);
+  // And the compliant controller dominates it on that spec.
+  Rng rng2(13);
+  const auto empirical_after = empirical_evaluation(
+      sim, after_controller(), domain().specs(), 500, rng2);
+  EXPECT_GT(empirical_after.probability_of("phi_5"),
+            empirical.probability_of("phi_5"));
+}
+
+TEST_F(SimTest, EmpiricalReportHelpers) {
+  const auto& model = domain().model(ScenarioId::TrafficLight);
+  Simulator sim(model, noiseless(10));
+  Rng rng(17);
+  const auto report = empirical_evaluation(
+      sim, after_controller(), driving::rulebook_head(domain().vocab()), 20,
+      rng);
+  EXPECT_EQ(report.per_spec.size(), 5u);
+  EXPECT_EQ(report.rollouts, 20);
+  EXPECT_GE(report.mean_probability(), 0.0);
+  EXPECT_LE(report.mean_probability(), 1.0);
+  EXPECT_THROW((void)report.probability_of("phi_99"), ContractViolation);
+}
+
+TEST_F(SimTest, NoiseDegradesSafetySatisfaction) {
+  // Perception noise can make even the compliant controller act on stale
+  // observations — P_Φ under noise ≤ P_Φ without noise (statistically).
+  const auto& model = domain().model(ScenarioId::TrafficLight);
+  Simulator clean(model, noiseless(40));
+  SimulatorConfig noisy_cfg = noiseless(40);
+  noisy_cfg.perception_noise = 0.15;
+  noisy_cfg.noise_mask = domain().vocab().env_mask();
+  Simulator noisy(model, noisy_cfg);
+
+  Rng r1(19), r2(19);
+  const auto clean_report = empirical_evaluation(
+      clean, after_controller(), driving::rulebook_head(domain().vocab()),
+      300, r1);
+  const auto noisy_report = empirical_evaluation(
+      noisy, after_controller(), driving::rulebook_head(domain().vocab()),
+      300, r2);
+  EXPECT_LT(noisy_report.probability_of("phi_5"),
+            clean_report.probability_of("phi_5") + 1e-9);
+}
+
+}  // namespace
+}  // namespace dpoaf::sim

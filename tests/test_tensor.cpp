@@ -1,0 +1,356 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <functional>
+
+#include "tensor/ops.hpp"
+#include "tensor/tensor.hpp"
+#include "util/check.hpp"
+#include "util/rng.hpp"
+
+namespace dpoaf::tensor {
+namespace {
+
+namespace ops = dpoaf::tensor::ops;
+
+// Central finite-difference check: analytic grad of `loss(inputs)` wrt each
+// entry of each input vs (f(x+h)−f(x−h)) / 2h.
+void check_gradients(std::vector<Tensor> inputs,
+                     const std::function<Tensor(Tape*)>& loss_fn,
+                     float h = 1e-3f, float tol = 2e-2f) {
+  Tape tape;
+  Tensor loss = loss_fn(&tape);
+  ASSERT_EQ(loss.numel(), 1);
+  tape.backward(loss);
+
+  for (Tensor& input : inputs) {
+    ASSERT_TRUE(input.requires_grad());
+    for (std::int64_t i = 0; i < input.numel(); ++i) {
+      const float orig = input.data()[i];
+      input.data()[i] = orig + h;
+      const float up = loss_fn(nullptr).item();
+      input.data()[i] = orig - h;
+      const float down = loss_fn(nullptr).item();
+      input.data()[i] = orig;
+      const float numeric = (up - down) / (2.0f * h);
+      const float analytic = input.grad()[i];
+      EXPECT_NEAR(analytic, numeric,
+                  tol * std::max(1.0f, std::fabs(numeric)))
+          << "input entry " << i;
+    }
+  }
+}
+
+TEST(Tensor, ConstructionAndAccess) {
+  Tensor t = Tensor::from({2, 3}, {1, 2, 3, 4, 5, 6});
+  EXPECT_EQ(t.rows(), 2);
+  EXPECT_EQ(t.cols(), 3);
+  EXPECT_EQ(t.at(1, 2), 6.0f);
+  t.at(0, 0) = 9.0f;
+  EXPECT_EQ(t.data()[0], 9.0f);
+  EXPECT_THROW((void)Tensor::from({2, 2}, {1, 2, 3}), ContractViolation);
+}
+
+TEST(Tensor, CopiesAliasCloneDoesNot) {
+  Tensor a = Tensor::from({1, 2}, {1, 2});
+  Tensor b = a;          // aliases
+  Tensor c = a.clone();  // deep copy
+  a.data()[0] = 7.0f;
+  EXPECT_EQ(b.data()[0], 7.0f);
+  EXPECT_EQ(c.data()[0], 1.0f);
+  EXPECT_TRUE(a.same_storage(b));
+  EXPECT_FALSE(a.same_storage(c));
+}
+
+TEST(Tensor, ItemRequiresScalar) {
+  EXPECT_THROW((void)Tensor::zeros({2, 1}).item(), ContractViolation);
+  EXPECT_EQ(Tensor::full({1, 1}, 3.0f).item(), 3.0f);
+}
+
+TEST(Tensor, GradLazyAllocationAndZero) {
+  Tensor t = Tensor::zeros({2, 2});
+  EXPECT_FALSE(t.has_grad());
+  t.grad()[0] = 5.0f;
+  EXPECT_TRUE(t.has_grad());
+  t.zero_grad();
+  EXPECT_EQ(t.grad()[0], 0.0f);
+}
+
+TEST(Ops, MatmulForwardValues) {
+  Tensor a = Tensor::from({2, 2}, {1, 2, 3, 4});
+  Tensor b = Tensor::from({2, 2}, {5, 6, 7, 8});
+  Tensor c = ops::matmul(nullptr, a, b);
+  EXPECT_EQ(c.at(0, 0), 19.0f);
+  EXPECT_EQ(c.at(0, 1), 22.0f);
+  EXPECT_EQ(c.at(1, 0), 43.0f);
+  EXPECT_EQ(c.at(1, 1), 50.0f);
+}
+
+TEST(Ops, MatmulShapeMismatchThrows) {
+  Tensor a = Tensor::zeros({2, 3});
+  Tensor b = Tensor::zeros({2, 3});
+  EXPECT_THROW((void)ops::matmul(nullptr, a, b), ContractViolation);
+}
+
+TEST(Ops, MatmulGradients) {
+  Rng rng(1);
+  Tensor a = Tensor::randn({3, 4}, rng).set_requires_grad(true);
+  Tensor b = Tensor::randn({4, 2}, rng).set_requires_grad(true);
+  check_gradients({a, b}, [&](Tape* t) {
+    return ops::sum(t, ops::matmul(t, a, b));
+  });
+}
+
+TEST(Ops, AddMulSubScaleGradients) {
+  Rng rng(2);
+  Tensor a = Tensor::randn({2, 3}, rng).set_requires_grad(true);
+  Tensor b = Tensor::randn({2, 3}, rng).set_requires_grad(true);
+  check_gradients({a, b}, [&](Tape* t) {
+    Tensor x = ops::add(t, a, b);
+    Tensor y = ops::mul(t, x, ops::sub(t, a, b));
+    return ops::sum(t, ops::scale(t, y, 0.5f));
+  });
+}
+
+TEST(Ops, AddRowwiseGradients) {
+  Rng rng(3);
+  Tensor x = Tensor::randn({3, 4}, rng).set_requires_grad(true);
+  Tensor b = Tensor::randn({1, 4}, rng).set_requires_grad(true);
+  check_gradients({x, b}, [&](Tape* t) {
+    return ops::sum(t, ops::add_rowwise(t, x, b));
+  });
+}
+
+TEST(Ops, GeluGradientsAndValues) {
+  // gelu(0) = 0; gelu(x) ≈ x for large x; gelu(x) ≈ 0 for very negative x.
+  Tensor z = Tensor::from({1, 3}, {0.0f, 10.0f, -10.0f});
+  Tensor g = ops::gelu(nullptr, z);
+  EXPECT_NEAR(g.data()[0], 0.0f, 1e-6f);
+  EXPECT_NEAR(g.data()[1], 10.0f, 1e-3f);
+  EXPECT_NEAR(g.data()[2], 0.0f, 1e-3f);
+
+  Rng rng(4);
+  Tensor a = Tensor::randn({2, 5}, rng).set_requires_grad(true);
+  check_gradients({a}, [&](Tape* t) { return ops::sum(t, ops::gelu(t, a)); });
+}
+
+TEST(Ops, LayerNormNormalizesRows) {
+  Rng rng(5);
+  Tensor x = Tensor::randn({4, 8}, rng, 3.0f);
+  Tensor gamma = Tensor::full({1, 8}, 1.0f);
+  Tensor beta = Tensor::zeros({1, 8});
+  Tensor y = ops::layer_norm(nullptr, x, gamma, beta);
+  for (std::int64_t i = 0; i < 4; ++i) {
+    float mean = 0.0f, var = 0.0f;
+    for (std::int64_t j = 0; j < 8; ++j) mean += y.at(i, j);
+    mean /= 8.0f;
+    for (std::int64_t j = 0; j < 8; ++j)
+      var += (y.at(i, j) - mean) * (y.at(i, j) - mean);
+    var /= 8.0f;
+    EXPECT_NEAR(mean, 0.0f, 1e-5f);
+    EXPECT_NEAR(var, 1.0f, 1e-3f);
+  }
+}
+
+TEST(Ops, LayerNormGradients) {
+  Rng rng(6);
+  Tensor x = Tensor::randn({3, 6}, rng).set_requires_grad(true);
+  Tensor gamma = Tensor::randn({1, 6}, rng).set_requires_grad(true);
+  Tensor beta = Tensor::randn({1, 6}, rng).set_requires_grad(true);
+  Tensor w = Tensor::randn({3, 6}, rng);  // weighting makes the loss non-flat
+  check_gradients({x, gamma, beta}, [&](Tape* t) {
+    return ops::sum(t, ops::mul(t, ops::layer_norm(t, x, gamma, beta), w));
+  });
+}
+
+TEST(Ops, SoftmaxRowsSumToOne) {
+  Rng rng(7);
+  Tensor x = Tensor::randn({3, 5}, rng, 2.0f);
+  Tensor y = ops::softmax_rows(nullptr, x);
+  for (std::int64_t i = 0; i < 3; ++i) {
+    float s = 0.0f;
+    for (std::int64_t j = 0; j < 5; ++j) {
+      s += y.at(i, j);
+      EXPECT_GT(y.at(i, j), 0.0f);
+    }
+    EXPECT_NEAR(s, 1.0f, 1e-5f);
+  }
+}
+
+TEST(Ops, SoftmaxGradients) {
+  Rng rng(8);
+  Tensor x = Tensor::randn({2, 4}, rng).set_requires_grad(true);
+  Tensor w = Tensor::randn({2, 4}, rng);
+  check_gradients({x}, [&](Tape* t) {
+    return ops::sum(t, ops::mul(t, ops::softmax_rows(t, x), w));
+  });
+}
+
+TEST(Ops, CausalSoftmaxMasksUpperTriangle) {
+  Rng rng(9);
+  Tensor x = Tensor::randn({4, 4}, rng);
+  Tensor y = ops::causal_softmax_rows(nullptr, x);
+  for (std::int64_t i = 0; i < 4; ++i) {
+    float s = 0.0f;
+    for (std::int64_t j = 0; j < 4; ++j) {
+      if (j > i) {
+        EXPECT_EQ(y.at(i, j), 0.0f);
+      } else {
+        s += y.at(i, j);
+      }
+    }
+    EXPECT_NEAR(s, 1.0f, 1e-5f);
+  }
+}
+
+TEST(Ops, CausalSoftmaxGradients) {
+  Rng rng(10);
+  Tensor x = Tensor::randn({3, 3}, rng).set_requires_grad(true);
+  Tensor w = Tensor::randn({3, 3}, rng);
+  check_gradients({x}, [&](Tape* t) {
+    return ops::sum(t, ops::mul(t, ops::causal_softmax_rows(t, x), w));
+  });
+}
+
+TEST(Ops, EmbeddingGatherAndScatter) {
+  Tensor table =
+      Tensor::from({3, 2}, {1, 2, 3, 4, 5, 6}).set_requires_grad(true);
+  const std::vector<int> ids{2, 0, 2};
+  Tensor out = ops::embedding(nullptr, table, ids);
+  EXPECT_EQ(out.at(0, 0), 5.0f);
+  EXPECT_EQ(out.at(1, 1), 2.0f);
+
+  check_gradients({table}, [&](Tape* t) {
+    return ops::sum(t, ops::embedding(t, table, ids));
+  });
+  // Row 2 gathered twice → gradient 2 per entry; row 1 never → 0.
+  Tape tape;
+  table.zero_grad();
+  Tensor loss = ops::sum(&tape, ops::embedding(&tape, table, ids));
+  tape.backward(loss);
+  EXPECT_EQ(table.grad()[2 * 2], 2.0f);
+  EXPECT_EQ(table.grad()[1 * 2], 0.0f);
+}
+
+TEST(Ops, EmbeddingOutOfRangeThrows) {
+  Tensor table = Tensor::zeros({3, 2});
+  EXPECT_THROW((void)ops::embedding(nullptr, table, {3}), ContractViolation);
+}
+
+TEST(Ops, SliceAndConcatRoundTrip) {
+  Rng rng(11);
+  Tensor x = Tensor::randn({2, 6}, rng).set_requires_grad(true);
+  Tensor a = ops::slice_cols(nullptr, x, 0, 3);
+  Tensor b = ops::slice_cols(nullptr, x, 3, 3);
+  Tensor back = ops::concat_cols(nullptr, {a, b});
+  for (std::int64_t i = 0; i < x.numel(); ++i)
+    EXPECT_EQ(back.data()[i], x.data()[i]);
+
+  check_gradients({x}, [&](Tape* t) {
+    Tensor s1 = ops::slice_cols(t, x, 1, 2);
+    Tensor s2 = ops::slice_cols(t, x, 3, 2);
+    return ops::sum(t, ops::mul(t, s1, s2));
+  });
+}
+
+TEST(Ops, TransposeGradients) {
+  Rng rng(12);
+  Tensor x = Tensor::randn({2, 3}, rng).set_requires_grad(true);
+  Tensor w = Tensor::randn({3, 2}, rng);
+  check_gradients({x}, [&](Tape* t) {
+    return ops::sum(t, ops::mul(t, ops::transpose(t, x), w));
+  });
+}
+
+TEST(Ops, CrossEntropyMatchesManualComputation) {
+  // Uniform logits over V classes → CE = log V.
+  Tensor logits = Tensor::zeros({2, 4});
+  const std::vector<int> targets{1, 3};
+  const float ce = ops::cross_entropy(nullptr, logits, targets).item();
+  EXPECT_NEAR(ce, std::log(4.0f), 1e-5f);
+}
+
+TEST(Ops, CrossEntropyIgnoresNegativeTargets) {
+  Tensor logits = Tensor::from({2, 2}, {100, 0, 0, 100});
+  // Only position 1 scored; it predicts class 1 with ~certainty.
+  const float ce = ops::cross_entropy(nullptr, logits, {-1, 1}).item();
+  EXPECT_NEAR(ce, 0.0f, 1e-4f);
+}
+
+TEST(Ops, CrossEntropyGradients) {
+  Rng rng(13);
+  Tensor logits = Tensor::randn({3, 5}, rng).set_requires_grad(true);
+  const std::vector<int> targets{4, -1, 0};
+  check_gradients({logits}, [&](Tape* t) {
+    return ops::cross_entropy(t, logits, targets);
+  });
+}
+
+TEST(Ops, SumLogProbsEqualsNegativeCeTimesCount) {
+  Rng rng(14);
+  Tensor logits = Tensor::randn({4, 6}, rng);
+  const std::vector<int> targets{1, 2, 3, -1};
+  const float lp = ops::sum_log_probs(nullptr, logits, targets, 0).item();
+  const float ce = ops::cross_entropy(nullptr, logits, targets).item();
+  EXPECT_NEAR(lp, -3.0f * ce, 1e-4f);
+}
+
+TEST(Ops, SumLogProbsRespectsFrom) {
+  Rng rng(15);
+  Tensor logits = Tensor::randn({4, 6}, rng).set_requires_grad(true);
+  const std::vector<int> targets{1, 2, 3, 4};
+  const float all = ops::sum_log_probs(nullptr, logits, targets, 0).item();
+  const float tail = ops::sum_log_probs(nullptr, logits, targets, 2).item();
+  EXPECT_LT(tail, 0.0f);
+  EXPECT_LT(all, tail);  // more (negative) terms
+  check_gradients({logits}, [&](Tape* t) {
+    return ops::sum_log_probs(t, logits, targets, 2);
+  });
+}
+
+TEST(Ops, SoftplusValuesAndGradients) {
+  Tensor x = Tensor::from({1, 3}, {0.0f, 20.0f, -20.0f});
+  Tensor y = ops::softplus(nullptr, x);
+  EXPECT_NEAR(y.data()[0], std::log(2.0f), 1e-6f);
+  EXPECT_NEAR(y.data()[1], 20.0f, 1e-4f);
+  EXPECT_NEAR(y.data()[2], 0.0f, 1e-4f);
+
+  Rng rng(16);
+  Tensor a = Tensor::randn({2, 3}, rng).set_requires_grad(true);
+  check_gradients({a}, [&](Tape* t) {
+    return ops::sum(t, ops::softplus(t, a));
+  });
+}
+
+TEST(Ops, NoTapeMeansNoGradFlow) {
+  Tensor a = Tensor::from({1, 1}, {2.0f}).set_requires_grad(true);
+  Tensor b = ops::scale(nullptr, a, 3.0f);
+  EXPECT_FALSE(b.requires_grad());
+}
+
+TEST(Ops, FrozenInputGetsNoGradient) {
+  Tensor a = Tensor::from({1, 2}, {1, 2});  // requires_grad = false
+  Tensor b = Tensor::from({1, 2}, {3, 4}).set_requires_grad(true);
+  Tape tape;
+  Tensor loss = ops::sum(&tape, ops::mul(&tape, a, b));
+  tape.backward(loss);
+  EXPECT_FALSE(a.has_grad());
+  EXPECT_EQ(b.grad()[0], 1.0f);
+}
+
+TEST(Tape, BackwardAccumulatesAcrossUses) {
+  // y = a + a → dy/da = 2.
+  Tensor a = Tensor::from({1, 1}, {1.0f}).set_requires_grad(true);
+  Tape tape;
+  Tensor loss = ops::add(&tape, a, a);
+  tape.backward(loss);
+  EXPECT_EQ(a.grad()[0], 2.0f);
+}
+
+TEST(Tape, BackwardRequiresScalarSeed) {
+  Tape tape;
+  EXPECT_THROW(tape.backward(Tensor::zeros({2, 1})), ContractViolation);
+}
+
+}  // namespace
+}  // namespace dpoaf::tensor

@@ -1,0 +1,226 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+#include <set>
+#include <vector>
+
+#include "util/check.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+#include "util/strings.hpp"
+#include "util/table.hpp"
+
+namespace dpoaf {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i)
+    if (a() == b()) ++same;
+  EXPECT_EQ(same, 0);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, BelowRespectsBound) {
+  Rng rng(3);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 5000; ++i) {
+    const std::uint64_t v = rng.below(7);
+    ASSERT_LT(v, 7u);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 7u);  // every residue hit
+}
+
+TEST(Rng, BetweenInclusive) {
+  Rng rng(9);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    const std::int64_t v = rng.between(-3, 3);
+    ASSERT_GE(v, -3);
+    ASSERT_LE(v, 3);
+    saw_lo |= v == -3;
+    saw_hi |= v == 3;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, ChanceFrequencyRoughlyMatchesP) {
+  Rng rng(11);
+  int hits = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i)
+    if (rng.chance(0.25)) ++hits;
+  const double freq = static_cast<double>(hits) / n;
+  EXPECT_NEAR(freq, 0.25, 0.02);
+}
+
+TEST(Rng, NormalMomentsApproximatelyStandard) {
+  Rng rng(13);
+  RunningStats stats;
+  for (int i = 0; i < 20000; ++i) stats.add(rng.normal());
+  EXPECT_NEAR(stats.mean(), 0.0, 0.05);
+  EXPECT_NEAR(stats.stddev(), 1.0, 0.05);
+}
+
+TEST(Rng, WeightedNeverPicksZeroWeight) {
+  Rng rng(17);
+  const std::vector<double> w{0.0, 1.0, 0.0, 3.0};
+  for (int i = 0; i < 2000; ++i) {
+    const std::size_t idx = rng.weighted(w);
+    EXPECT_TRUE(idx == 1 || idx == 3);
+  }
+}
+
+TEST(Rng, WeightedMatchesProportions) {
+  Rng rng(19);
+  const std::vector<double> w{1.0, 3.0};
+  int counts[2] = {0, 0};
+  const int n = 40000;
+  for (int i = 0; i < n; ++i) ++counts[rng.weighted(w)];
+  EXPECT_NEAR(static_cast<double>(counts[1]) / n, 0.75, 0.02);
+}
+
+TEST(Rng, ShufflePreservesElements) {
+  Rng rng(23);
+  std::vector<int> v(50);
+  std::iota(v.begin(), v.end(), 0);
+  auto copy = v;
+  rng.shuffle(v);
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, copy);
+}
+
+TEST(Rng, BelowZeroThrows) {
+  Rng rng(1);
+  EXPECT_THROW(rng.below(0), ContractViolation);
+}
+
+TEST(RunningStats, MatchesDirectComputation) {
+  RunningStats s;
+  const std::vector<double> xs{1.0, 2.0, 4.0, 8.0};
+  for (double x : xs) s.add(x);
+  EXPECT_EQ(s.count(), 4u);
+  EXPECT_DOUBLE_EQ(s.mean(), 3.75);
+  EXPECT_DOUBLE_EQ(s.min(), 1.0);
+  EXPECT_DOUBLE_EQ(s.max(), 8.0);
+  EXPECT_NEAR(s.variance(), 9.583333333, 1e-6);
+}
+
+TEST(RunningStats, EmptyAndSingleAreSafe) {
+  RunningStats s;
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.variance(), 0.0);
+  s.add(5.0);
+  EXPECT_EQ(s.mean(), 5.0);
+  EXPECT_EQ(s.variance(), 0.0);
+}
+
+TEST(Stats, QuantileInterpolates) {
+  std::vector<double> xs{0.0, 1.0, 2.0, 3.0};
+  EXPECT_DOUBLE_EQ(quantile_of(xs, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(quantile_of(xs, 1.0), 3.0);
+  EXPECT_DOUBLE_EQ(quantile_of(xs, 0.5), 1.5);
+}
+
+TEST(Stats, PearsonPerfectCorrelation) {
+  std::vector<double> xs{1, 2, 3, 4};
+  std::vector<double> ys{2, 4, 6, 8};
+  EXPECT_NEAR(pearson(xs, ys), 1.0, 1e-12);
+  std::vector<double> neg{8, 6, 4, 2};
+  EXPECT_NEAR(pearson(xs, neg), -1.0, 1e-12);
+}
+
+TEST(Stats, SpearmanHandlesMonotoneNonlinear) {
+  std::vector<double> xs{1, 2, 3, 4, 5};
+  std::vector<double> ys{1, 8, 27, 64, 125};
+  EXPECT_NEAR(spearman(xs, ys), 1.0, 1e-12);
+}
+
+TEST(Stats, SpearmanTiesGetAverageRanks) {
+  std::vector<double> xs{1, 1, 2, 2};
+  std::vector<double> ys{1, 1, 2, 2};
+  EXPECT_NEAR(spearman(xs, ys), 1.0, 1e-12);
+}
+
+TEST(Strings, SplitAndJoinRoundTrip) {
+  const auto parts = split("a,b,,c", ',');
+  ASSERT_EQ(parts.size(), 4u);
+  EXPECT_EQ(parts[2], "");
+  EXPECT_EQ(join({"a", "b", "c"}, "-"), "a-b-c");
+}
+
+TEST(Strings, SplitWsDropsEmpty) {
+  const auto parts = split_ws("  foo \t bar\nbaz  ");
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[0], "foo");
+  EXPECT_EQ(parts[2], "baz");
+}
+
+TEST(Strings, TrimAndLower) {
+  EXPECT_EQ(trim("  Hello \n"), "Hello");
+  EXPECT_EQ(trim(""), "");
+  EXPECT_EQ(to_lower("AbC"), "abc");
+}
+
+TEST(Strings, ReplaceAll) {
+  EXPECT_EQ(replace_all("a-b-c", "-", "+"), "a+b+c");
+  EXPECT_EQ(replace_all("aaa", "aa", "b"), "ba");
+}
+
+TEST(Strings, EditDistanceKnownValues) {
+  EXPECT_EQ(edit_distance("kitten", "sitting"), 3u);
+  EXPECT_EQ(edit_distance("", "abc"), 3u);
+  EXPECT_EQ(edit_distance("same", "same"), 0u);
+}
+
+TEST(Strings, NormalizedEditDistanceBounds) {
+  EXPECT_DOUBLE_EQ(normalized_edit_distance("", ""), 0.0);
+  EXPECT_DOUBLE_EQ(normalized_edit_distance("abc", "xyz"), 1.0);
+  const double d = normalized_edit_distance("stop sign", "stop signs");
+  EXPECT_GT(d, 0.0);
+  EXPECT_LT(d, 0.2);
+}
+
+TEST(TextTable, RowWidthMismatchThrows) {
+  TextTable t("t");
+  t.set_header({"a", "b"});
+  EXPECT_THROW(t.add_row({"only one"}), ContractViolation);
+}
+
+TEST(TextTable, CsvOutput) {
+  TextTable t("t");
+  t.set_header({"x", "y"});
+  t.add_row({"1", "2"});
+  std::ostringstream os;
+  t.print_csv(os);
+  EXPECT_EQ(os.str(), "x,y\n1,2\n");
+}
+
+TEST(Check, MacrosThrowWithContext) {
+  try {
+    DPOAF_CHECK_MSG(false, "custom context");
+    FAIL() << "should have thrown";
+  } catch (const ContractViolation& e) {
+    EXPECT_NE(std::string(e.what()).find("custom context"), std::string::npos);
+  }
+}
+
+}  // namespace
+}  // namespace dpoaf

@@ -1,0 +1,156 @@
+#include <gtest/gtest.h>
+
+#include "util/stats.hpp"
+#include "vision/calibration.hpp"
+#include "vision/detector.hpp"
+
+namespace dpoaf::vision {
+namespace {
+
+TEST(Detector, ProducesRequestedCounts) {
+  SyntheticDetector det;
+  Rng rng(1);
+  const auto samples = det.detect(Domain::Simulation, "car", 100, rng);
+  EXPECT_EQ(samples.size(), 100u);
+  for (const auto& s : samples) {
+    EXPECT_GT(s.confidence, 0.0);
+    EXPECT_LT(s.confidence, 1.0);
+    EXPECT_EQ(s.object_class, "car");
+  }
+}
+
+TEST(Detector, DetectAllCoversEveryClass) {
+  SyntheticDetector det;
+  Rng rng(2);
+  const auto samples = det.detect_all(Domain::RealWorld, 10, rng);
+  EXPECT_EQ(samples.size(), driving_object_classes().size() * 10u);
+}
+
+TEST(Detector, ConfidenceIsInformative) {
+  // Higher-confidence detections must be correct more often: split at the
+  // median and compare accuracies.
+  SyntheticDetector det;
+  Rng rng(3);
+  const auto samples = det.detect_all(Domain::Simulation, 2000, rng);
+  double lo_acc = 0, hi_acc = 0;
+  int lo_n = 0, hi_n = 0;
+  for (const auto& s : samples) {
+    if (s.confidence < 0.5) {
+      lo_acc += s.correct;
+      ++lo_n;
+    } else {
+      hi_acc += s.correct;
+      ++hi_n;
+    }
+  }
+  ASSERT_GT(lo_n, 100);
+  ASSERT_GT(hi_n, 100);
+  EXPECT_GT(hi_acc / hi_n, lo_acc / lo_n + 0.2);
+}
+
+TEST(Detector, RealDomainIsHarder) {
+  SyntheticDetector det;
+  Rng r1(4), r2(4);
+  const auto sim = det.detect_all(Domain::Simulation, 4000, r1);
+  const auto real = det.detect_all(Domain::RealWorld, 4000, r2);
+  auto acc = [](const std::vector<DetectionSample>& xs) {
+    double a = 0;
+    for (const auto& s : xs) a += s.correct;
+    return a / static_cast<double>(xs.size());
+  };
+  EXPECT_GT(acc(sim), acc(real));  // more clutter in the real domain
+}
+
+TEST(Calibration, BinsPartitionSamples) {
+  SyntheticDetector det;
+  Rng rng(5);
+  const auto samples = det.detect_all(Domain::Simulation, 500, rng);
+  const auto curve = calibration_curve(samples, 10);
+  ASSERT_EQ(curve.size(), 10u);
+  std::size_t total = 0;
+  for (const auto& bin : curve) total += static_cast<std::size_t>(bin.count);
+  EXPECT_EQ(total, samples.size());
+  for (const auto& bin : curve) {
+    if (bin.count == 0) continue;
+    EXPECT_GE(bin.mean_confidence, bin.conf_lo - 1e-9);
+    EXPECT_LE(bin.mean_confidence, bin.conf_hi + 1e-9);
+    EXPECT_GE(bin.accuracy, 0.0);
+    EXPECT_LE(bin.accuracy, 1.0);
+  }
+}
+
+TEST(Calibration, HandComputedBins) {
+  std::vector<DetectionSample> samples{
+      {"car", 0.05, false}, {"car", 0.15, true},  // bins 0 and 1
+      {"car", 0.95, true},  {"car", 0.95, false},
+  };
+  const auto curve = calibration_curve(samples, 10);
+  EXPECT_EQ(curve[0].count, 1);
+  EXPECT_EQ(curve[0].accuracy, 0.0);
+  EXPECT_EQ(curve[1].accuracy, 1.0);
+  EXPECT_EQ(curve[9].count, 2);
+  EXPECT_EQ(curve[9].accuracy, 0.5);
+}
+
+TEST(Calibration, EceZeroForPerfectCalibration) {
+  std::vector<DetectionSample> samples;
+  // Accuracy exactly equal to confidence in each bin.
+  for (int i = 0; i < 100; ++i)
+    samples.push_back({"car", 0.75, i < 75});
+  const auto curve = calibration_curve(samples, 10);
+  EXPECT_NEAR(expected_calibration_error(curve), 0.0, 1e-9);
+}
+
+TEST(Calibration, CurveIsMonotoneInConfidence) {
+  SyntheticDetector det;
+  Rng rng(6);
+  const auto samples = det.detect_all(Domain::Simulation, 5000, rng);
+  const auto curve = calibration_curve(samples, 10);
+  std::vector<double> confs, accs;
+  for (const auto& bin : curve) {
+    if (bin.count < 30) continue;
+    confs.push_back(bin.mean_confidence);
+    accs.push_back(bin.accuracy);
+  }
+  ASSERT_GE(confs.size(), 4u);
+  EXPECT_GT(spearman(confs, accs), 0.8);
+}
+
+// Figure 12's claim: the detector's confidence→accuracy mapping is
+// approximately equal in simulation and reality.
+TEST(Calibration, SimAndRealCurvesApproximatelyCoincide) {
+  SyntheticDetector det;
+  Rng r1(7), r2(8);
+  const auto sim = det.detect_all(Domain::Simulation, 8000, r1);
+  const auto real = det.detect_all(Domain::RealWorld, 8000, r2);
+  const auto curve_sim = calibration_curve(sim, 10);
+  const auto curve_real = calibration_curve(real, 10);
+  EXPECT_LT(max_accuracy_gap(curve_sim, curve_real), 0.12);
+  EXPECT_LT(mean_accuracy_gap(curve_sim, curve_real), 0.06);
+}
+
+TEST(Calibration, MiscalibrationWidensTheGap) {
+  DetectorConfig distorted;
+  distorted.real_miscalibration = 1.5;  // badly miscalibrated real domain
+  SyntheticDetector bad(distorted);
+  SyntheticDetector good;
+
+  Rng r1(9), r2(10), r3(9), r4(10);
+  const auto good_gap = mean_accuracy_gap(
+      calibration_curve(good.detect_all(Domain::Simulation, 6000, r1), 10),
+      calibration_curve(good.detect_all(Domain::RealWorld, 6000, r2), 10));
+  const auto bad_gap = mean_accuracy_gap(
+      calibration_curve(bad.detect_all(Domain::Simulation, 6000, r3), 10),
+      calibration_curve(bad.detect_all(Domain::RealWorld, 6000, r4), 10));
+  EXPECT_GT(bad_gap, good_gap * 1.5);
+}
+
+TEST(Calibration, GapHelpersValidateSizes) {
+  const auto a = calibration_curve({}, 5);
+  const auto b = calibration_curve({}, 10);
+  EXPECT_THROW((void)max_accuracy_gap(a, b), ContractViolation);
+  EXPECT_EQ(expected_calibration_error(a), 0.0);
+}
+
+}  // namespace
+}  // namespace dpoaf::vision
