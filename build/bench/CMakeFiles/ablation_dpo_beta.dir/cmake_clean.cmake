@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_dpo_beta.dir/ablation_dpo_beta.cpp.o"
+  "CMakeFiles/ablation_dpo_beta.dir/ablation_dpo_beta.cpp.o.d"
+  "ablation_dpo_beta"
+  "ablation_dpo_beta.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_dpo_beta.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_feedback_consistency.dir/ablation_feedback_consistency.cpp.o"
+  "CMakeFiles/ablation_feedback_consistency.dir/ablation_feedback_consistency.cpp.o.d"
+  "ablation_feedback_consistency"
+  "ablation_feedback_consistency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_feedback_consistency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_model_pruning.dir/ablation_model_pruning.cpp.o"
+  "CMakeFiles/ablation_model_pruning.dir/ablation_model_pruning.cpp.o.d"
+  "ablation_model_pruning"
+  "ablation_model_pruning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_model_pruning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_pair_budget.dir/ablation_pair_budget.cpp.o"
+  "CMakeFiles/ablation_pair_budget.dir/ablation_pair_budget.cpp.o.d"
+  "ablation_pair_budget"
+  "ablation_pair_budget.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_pair_budget.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_repair_vs_dpo.dir/ablation_repair_vs_dpo.cpp.o"
+  "CMakeFiles/ablation_repair_vs_dpo.dir/ablation_repair_vs_dpo.cpp.o.d"
+  "ablation_repair_vs_dpo"
+  "ablation_repair_vs_dpo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_repair_vs_dpo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for ablation_repair_vs_dpo.
+# This may be replaced when dependencies are built.

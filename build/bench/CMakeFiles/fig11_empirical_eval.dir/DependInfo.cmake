@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/fig11_empirical_eval.cpp" "bench/CMakeFiles/fig11_empirical_eval.dir/fig11_empirical_eval.cpp.o" "gcc" "bench/CMakeFiles/fig11_empirical_eval.dir/fig11_empirical_eval.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/dpoaf_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/dpoaf_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/dpo/CMakeFiles/dpoaf_dpo.dir/DependInfo.cmake"
+  "/root/repo/build/src/lm/CMakeFiles/dpoaf_lm.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/dpoaf_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/dpoaf_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/driving/CMakeFiles/dpoaf_driving.dir/DependInfo.cmake"
+  "/root/repo/build/src/glm2fsa/CMakeFiles/dpoaf_glm2fsa.dir/DependInfo.cmake"
+  "/root/repo/build/src/modelcheck/CMakeFiles/dpoaf_modelcheck.dir/DependInfo.cmake"
+  "/root/repo/build/src/automata/CMakeFiles/dpoaf_automata.dir/DependInfo.cmake"
+  "/root/repo/build/src/logic/CMakeFiles/dpoaf_logic.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/dpoaf_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

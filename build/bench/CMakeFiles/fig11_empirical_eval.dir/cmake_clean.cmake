@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_empirical_eval.dir/fig11_empirical_eval.cpp.o"
+  "CMakeFiles/fig11_empirical_eval.dir/fig11_empirical_eval.cpp.o.d"
+  "fig11_empirical_eval"
+  "fig11_empirical_eval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_empirical_eval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_vision_consistency.dir/fig12_vision_consistency.cpp.o"
+  "CMakeFiles/fig12_vision_consistency.dir/fig12_vision_consistency.cpp.o.d"
+  "fig12_vision_consistency"
+  "fig12_vision_consistency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_vision_consistency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_dpo_training.dir/fig8_dpo_training.cpp.o"
+  "CMakeFiles/fig8_dpo_training.dir/fig8_dpo_training.cpp.o.d"
+  "fig8_dpo_training"
+  "fig8_dpo_training.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_dpo_training.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

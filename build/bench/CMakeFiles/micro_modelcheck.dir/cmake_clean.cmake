@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_modelcheck.dir/micro_modelcheck.cpp.o"
+  "CMakeFiles/micro_modelcheck.dir/micro_modelcheck.cpp.o.d"
+  "micro_modelcheck"
+  "micro_modelcheck.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_modelcheck.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/finetune_pipeline.dir/finetune_pipeline.cpp.o"
+  "CMakeFiles/finetune_pipeline.dir/finetune_pipeline.cpp.o.d"
+  "finetune_pipeline"
+  "finetune_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/finetune_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/left_turn_demo.dir/left_turn_demo.cpp.o"
+  "CMakeFiles/left_turn_demo.dir/left_turn_demo.cpp.o.d"
+  "left_turn_demo"
+  "left_turn_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/left_turn_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

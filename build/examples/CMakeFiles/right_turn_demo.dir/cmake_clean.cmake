@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/right_turn_demo.dir/right_turn_demo.cpp.o"
+  "CMakeFiles/right_turn_demo.dir/right_turn_demo.cpp.o.d"
+  "right_turn_demo"
+  "right_turn_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/right_turn_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/verify_catalog.dir/verify_catalog.cpp.o"
+  "CMakeFiles/verify_catalog.dir/verify_catalog.cpp.o.d"
+  "verify_catalog"
+  "verify_catalog.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/verify_catalog.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

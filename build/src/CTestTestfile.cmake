@@ -1,0 +1,19 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("util")
+subdirs("logic")
+subdirs("automata")
+subdirs("modelcheck")
+subdirs("glm2fsa")
+subdirs("driving")
+subdirs("tensor")
+subdirs("nn")
+subdirs("lm")
+subdirs("dpo")
+subdirs("core")
+subdirs("sim")
+subdirs("vision")

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/automata/controller.cpp" "src/automata/CMakeFiles/dpoaf_automata.dir/controller.cpp.o" "gcc" "src/automata/CMakeFiles/dpoaf_automata.dir/controller.cpp.o.d"
+  "/root/repo/src/automata/dot_export.cpp" "src/automata/CMakeFiles/dpoaf_automata.dir/dot_export.cpp.o" "gcc" "src/automata/CMakeFiles/dpoaf_automata.dir/dot_export.cpp.o.d"
+  "/root/repo/src/automata/product.cpp" "src/automata/CMakeFiles/dpoaf_automata.dir/product.cpp.o" "gcc" "src/automata/CMakeFiles/dpoaf_automata.dir/product.cpp.o.d"
+  "/root/repo/src/automata/transition_system.cpp" "src/automata/CMakeFiles/dpoaf_automata.dir/transition_system.cpp.o" "gcc" "src/automata/CMakeFiles/dpoaf_automata.dir/transition_system.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/logic/CMakeFiles/dpoaf_logic.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/dpoaf_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dpoaf_automata.dir/controller.cpp.o"
+  "CMakeFiles/dpoaf_automata.dir/controller.cpp.o.d"
+  "CMakeFiles/dpoaf_automata.dir/dot_export.cpp.o"
+  "CMakeFiles/dpoaf_automata.dir/dot_export.cpp.o.d"
+  "CMakeFiles/dpoaf_automata.dir/product.cpp.o"
+  "CMakeFiles/dpoaf_automata.dir/product.cpp.o.d"
+  "CMakeFiles/dpoaf_automata.dir/transition_system.cpp.o"
+  "CMakeFiles/dpoaf_automata.dir/transition_system.cpp.o.d"
+  "libdpoaf_automata.a"
+  "libdpoaf_automata.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dpoaf_automata.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libdpoaf_automata.a"
+)

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dpoaf_core.dir/pipeline.cpp.o"
+  "CMakeFiles/dpoaf_core.dir/pipeline.cpp.o.d"
+  "CMakeFiles/dpoaf_core.dir/repair.cpp.o"
+  "CMakeFiles/dpoaf_core.dir/repair.cpp.o.d"
+  "libdpoaf_core.a"
+  "libdpoaf_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dpoaf_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dpoaf_dpo.dir/dataset.cpp.o"
+  "CMakeFiles/dpoaf_dpo.dir/dataset.cpp.o.d"
+  "CMakeFiles/dpoaf_dpo.dir/trainer.cpp.o"
+  "CMakeFiles/dpoaf_dpo.dir/trainer.cpp.o.d"
+  "libdpoaf_dpo.a"
+  "libdpoaf_dpo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dpoaf_dpo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

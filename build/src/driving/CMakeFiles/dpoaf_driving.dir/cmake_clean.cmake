@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dpoaf_driving.dir/domain.cpp.o"
+  "CMakeFiles/dpoaf_driving.dir/domain.cpp.o.d"
+  "CMakeFiles/dpoaf_driving.dir/scenarios.cpp.o"
+  "CMakeFiles/dpoaf_driving.dir/scenarios.cpp.o.d"
+  "CMakeFiles/dpoaf_driving.dir/specs.cpp.o"
+  "CMakeFiles/dpoaf_driving.dir/specs.cpp.o.d"
+  "CMakeFiles/dpoaf_driving.dir/tasks.cpp.o"
+  "CMakeFiles/dpoaf_driving.dir/tasks.cpp.o.d"
+  "libdpoaf_driving.a"
+  "libdpoaf_driving.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dpoaf_driving.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dpoaf_glm2fsa.dir/aligner.cpp.o"
+  "CMakeFiles/dpoaf_glm2fsa.dir/aligner.cpp.o.d"
+  "CMakeFiles/dpoaf_glm2fsa.dir/builder.cpp.o"
+  "CMakeFiles/dpoaf_glm2fsa.dir/builder.cpp.o.d"
+  "CMakeFiles/dpoaf_glm2fsa.dir/semantic_parser.cpp.o"
+  "CMakeFiles/dpoaf_glm2fsa.dir/semantic_parser.cpp.o.d"
+  "libdpoaf_glm2fsa.a"
+  "libdpoaf_glm2fsa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dpoaf_glm2fsa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

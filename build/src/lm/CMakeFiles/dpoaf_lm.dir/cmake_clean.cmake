@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dpoaf_lm.dir/corpus.cpp.o"
+  "CMakeFiles/dpoaf_lm.dir/corpus.cpp.o.d"
+  "CMakeFiles/dpoaf_lm.dir/pretrain.cpp.o"
+  "CMakeFiles/dpoaf_lm.dir/pretrain.cpp.o.d"
+  "libdpoaf_lm.a"
+  "libdpoaf_lm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dpoaf_lm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/logic/lasso_eval.cpp" "src/logic/CMakeFiles/dpoaf_logic.dir/lasso_eval.cpp.o" "gcc" "src/logic/CMakeFiles/dpoaf_logic.dir/lasso_eval.cpp.o.d"
+  "/root/repo/src/logic/ltl.cpp" "src/logic/CMakeFiles/dpoaf_logic.dir/ltl.cpp.o" "gcc" "src/logic/CMakeFiles/dpoaf_logic.dir/ltl.cpp.o.d"
+  "/root/repo/src/logic/ltlf.cpp" "src/logic/CMakeFiles/dpoaf_logic.dir/ltlf.cpp.o" "gcc" "src/logic/CMakeFiles/dpoaf_logic.dir/ltlf.cpp.o.d"
+  "/root/repo/src/logic/parser.cpp" "src/logic/CMakeFiles/dpoaf_logic.dir/parser.cpp.o" "gcc" "src/logic/CMakeFiles/dpoaf_logic.dir/parser.cpp.o.d"
+  "/root/repo/src/logic/vocabulary.cpp" "src/logic/CMakeFiles/dpoaf_logic.dir/vocabulary.cpp.o" "gcc" "src/logic/CMakeFiles/dpoaf_logic.dir/vocabulary.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/dpoaf_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dpoaf_logic.dir/lasso_eval.cpp.o"
+  "CMakeFiles/dpoaf_logic.dir/lasso_eval.cpp.o.d"
+  "CMakeFiles/dpoaf_logic.dir/ltl.cpp.o"
+  "CMakeFiles/dpoaf_logic.dir/ltl.cpp.o.d"
+  "CMakeFiles/dpoaf_logic.dir/ltlf.cpp.o"
+  "CMakeFiles/dpoaf_logic.dir/ltlf.cpp.o.d"
+  "CMakeFiles/dpoaf_logic.dir/parser.cpp.o"
+  "CMakeFiles/dpoaf_logic.dir/parser.cpp.o.d"
+  "CMakeFiles/dpoaf_logic.dir/vocabulary.cpp.o"
+  "CMakeFiles/dpoaf_logic.dir/vocabulary.cpp.o.d"
+  "libdpoaf_logic.a"
+  "libdpoaf_logic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dpoaf_logic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dpoaf_modelcheck.dir/buchi.cpp.o"
+  "CMakeFiles/dpoaf_modelcheck.dir/buchi.cpp.o.d"
+  "CMakeFiles/dpoaf_modelcheck.dir/checker.cpp.o"
+  "CMakeFiles/dpoaf_modelcheck.dir/checker.cpp.o.d"
+  "CMakeFiles/dpoaf_modelcheck.dir/smv_export.cpp.o"
+  "CMakeFiles/dpoaf_modelcheck.dir/smv_export.cpp.o.d"
+  "libdpoaf_modelcheck.a"
+  "libdpoaf_modelcheck.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dpoaf_modelcheck.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

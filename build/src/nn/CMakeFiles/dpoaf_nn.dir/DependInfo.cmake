@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/nn/decoder.cpp" "src/nn/CMakeFiles/dpoaf_nn.dir/decoder.cpp.o" "gcc" "src/nn/CMakeFiles/dpoaf_nn.dir/decoder.cpp.o.d"
+  "/root/repo/src/nn/gpt.cpp" "src/nn/CMakeFiles/dpoaf_nn.dir/gpt.cpp.o" "gcc" "src/nn/CMakeFiles/dpoaf_nn.dir/gpt.cpp.o.d"
+  "/root/repo/src/nn/modules.cpp" "src/nn/CMakeFiles/dpoaf_nn.dir/modules.cpp.o" "gcc" "src/nn/CMakeFiles/dpoaf_nn.dir/modules.cpp.o.d"
+  "/root/repo/src/nn/optim.cpp" "src/nn/CMakeFiles/dpoaf_nn.dir/optim.cpp.o" "gcc" "src/nn/CMakeFiles/dpoaf_nn.dir/optim.cpp.o.d"
+  "/root/repo/src/nn/tokenizer.cpp" "src/nn/CMakeFiles/dpoaf_nn.dir/tokenizer.cpp.o" "gcc" "src/nn/CMakeFiles/dpoaf_nn.dir/tokenizer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/tensor/CMakeFiles/dpoaf_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/dpoaf_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

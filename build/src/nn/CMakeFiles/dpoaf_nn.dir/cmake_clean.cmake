@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dpoaf_nn.dir/decoder.cpp.o"
+  "CMakeFiles/dpoaf_nn.dir/decoder.cpp.o.d"
+  "CMakeFiles/dpoaf_nn.dir/gpt.cpp.o"
+  "CMakeFiles/dpoaf_nn.dir/gpt.cpp.o.d"
+  "CMakeFiles/dpoaf_nn.dir/modules.cpp.o"
+  "CMakeFiles/dpoaf_nn.dir/modules.cpp.o.d"
+  "CMakeFiles/dpoaf_nn.dir/optim.cpp.o"
+  "CMakeFiles/dpoaf_nn.dir/optim.cpp.o.d"
+  "CMakeFiles/dpoaf_nn.dir/tokenizer.cpp.o"
+  "CMakeFiles/dpoaf_nn.dir/tokenizer.cpp.o.d"
+  "libdpoaf_nn.a"
+  "libdpoaf_nn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dpoaf_nn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for dpoaf_nn.
+# This may be replaced when dependencies are built.

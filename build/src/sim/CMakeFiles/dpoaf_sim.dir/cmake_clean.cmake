@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dpoaf_sim.dir/empirical.cpp.o"
+  "CMakeFiles/dpoaf_sim.dir/empirical.cpp.o.d"
+  "CMakeFiles/dpoaf_sim.dir/simulator.cpp.o"
+  "CMakeFiles/dpoaf_sim.dir/simulator.cpp.o.d"
+  "libdpoaf_sim.a"
+  "libdpoaf_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dpoaf_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

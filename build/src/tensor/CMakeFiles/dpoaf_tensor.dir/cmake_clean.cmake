@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dpoaf_tensor.dir/ops.cpp.o"
+  "CMakeFiles/dpoaf_tensor.dir/ops.cpp.o.d"
+  "CMakeFiles/dpoaf_tensor.dir/tensor.cpp.o"
+  "CMakeFiles/dpoaf_tensor.dir/tensor.cpp.o.d"
+  "libdpoaf_tensor.a"
+  "libdpoaf_tensor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dpoaf_tensor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

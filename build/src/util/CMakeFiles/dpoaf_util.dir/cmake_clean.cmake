@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dpoaf_util.dir/stats.cpp.o"
+  "CMakeFiles/dpoaf_util.dir/stats.cpp.o.d"
+  "CMakeFiles/dpoaf_util.dir/strings.cpp.o"
+  "CMakeFiles/dpoaf_util.dir/strings.cpp.o.d"
+  "CMakeFiles/dpoaf_util.dir/table.cpp.o"
+  "CMakeFiles/dpoaf_util.dir/table.cpp.o.d"
+  "libdpoaf_util.a"
+  "libdpoaf_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dpoaf_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

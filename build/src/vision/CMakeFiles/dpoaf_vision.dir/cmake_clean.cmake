@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dpoaf_vision.dir/calibration.cpp.o"
+  "CMakeFiles/dpoaf_vision.dir/calibration.cpp.o.d"
+  "CMakeFiles/dpoaf_vision.dir/detector.cpp.o"
+  "CMakeFiles/dpoaf_vision.dir/detector.cpp.o.d"
+  "libdpoaf_vision.a"
+  "libdpoaf_vision.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dpoaf_vision.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dpo.dir/test_dpo.cpp.o"
+  "CMakeFiles/test_dpo.dir/test_dpo.cpp.o.d"
+  "test_dpo"
+  "test_dpo.pdb"
+  "test_dpo[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dpo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

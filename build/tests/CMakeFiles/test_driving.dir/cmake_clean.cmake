@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_driving.dir/test_driving.cpp.o"
+  "CMakeFiles/test_driving.dir/test_driving.cpp.o.d"
+  "test_driving"
+  "test_driving.pdb"
+  "test_driving[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_driving.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_exports.dir/test_exports.cpp.o"
+  "CMakeFiles/test_exports.dir/test_exports.cpp.o.d"
+  "test_exports"
+  "test_exports.pdb"
+  "test_exports[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_exports.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_glm2fsa.dir/test_glm2fsa.cpp.o"
+  "CMakeFiles/test_glm2fsa.dir/test_glm2fsa.cpp.o.d"
+  "test_glm2fsa"
+  "test_glm2fsa.pdb"
+  "test_glm2fsa[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_glm2fsa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for test_glm2fsa.
+# This may be replaced when dependencies are built.
