@@ -5,6 +5,7 @@
 
 #include "nn/gpt.hpp"
 #include "tensor/ops.hpp"
+#include "util/threadpool.hpp"
 
 namespace {
 
@@ -15,6 +16,7 @@ namespace ops = tensor::ops;
 
 void BM_Matmul(benchmark::State& state) {
   const auto n = state.range(0);
+  util::set_global_threads(1);  // serial baseline; see BM_MatmulThreads
   Rng rng(1);
   Tensor a = Tensor::randn({n, n}, rng);
   Tensor b = Tensor::randn({n, n}, rng);
@@ -27,6 +29,49 @@ void BM_Matmul(benchmark::State& state) {
       benchmark::Counter::kIsRate, benchmark::Counter::kIs1000);
 }
 BENCHMARK(BM_Matmul)->Arg(48)->Arg(96)->Arg(192);
+
+// Thread-count sweep at the figure/ablation hot-path size (256³): the
+// speedup column is the GFLOP/s ratio against the threads=1 row.
+void BM_MatmulThreads(benchmark::State& state) {
+  const auto threads = static_cast<int>(state.range(0));
+  constexpr std::int64_t n = 256;
+  util::set_global_threads(threads);
+  Rng rng(1);
+  Tensor a = Tensor::randn({n, n}, rng);
+  Tensor b = Tensor::randn({n, n}, rng);
+  for (auto _ : state) {
+    Tensor c = ops::matmul(nullptr, a, b);
+    benchmark::DoNotOptimize(c.data());
+  }
+  util::set_global_threads(1);
+  state.counters["GFLOP/s"] = benchmark::Counter(
+      static_cast<double>(2 * n * n * n) * static_cast<double>(state.iterations()),
+      benchmark::Counter::kIsRate, benchmark::Counter::kIs1000);
+}
+BENCHMARK(BM_MatmulThreads)->Arg(1)->Arg(2)->Arg(4)->Arg(8)
+    ->ArgName("threads");
+
+// Backward accumulations under the same sweep (both dA and dB paths).
+void BM_MatmulBackwardThreads(benchmark::State& state) {
+  const auto threads = static_cast<int>(state.range(0));
+  constexpr std::int64_t n = 256;
+  util::set_global_threads(threads);
+  Rng rng(1);
+  Tensor a = Tensor::randn({n, n}, rng).set_requires_grad(true);
+  Tensor b = Tensor::randn({n, n}, rng).set_requires_grad(true);
+  for (auto _ : state) {
+    Tape tape;
+    Tensor c = ops::matmul(&tape, a, b);
+    Tensor loss = ops::sum(&tape, c);
+    tape.backward(loss);
+    benchmark::DoNotOptimize(a.grad());
+    a.zero_grad();
+    b.zero_grad();
+  }
+  util::set_global_threads(1);
+}
+BENCHMARK(BM_MatmulBackwardThreads)->Arg(1)->Arg(2)->Arg(4)
+    ->ArgName("threads");
 
 void BM_SoftmaxRows(benchmark::State& state) {
   Rng rng(2);

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "util/check.hpp"
+#include "util/threadpool.hpp"
 
 namespace dpoaf::core {
 
@@ -10,6 +11,7 @@ DpoAfPipeline::DpoAfPipeline(PipelineConfig config)
     : config_(config),
       tokenizer_(lm::build_tokenizer(domain_.tasks())),
       rng_(config.seed) {
+  util::set_global_threads(config_.threads);
   nn::GptConfig gpt_cfg;
   gpt_cfg.vocab_size = static_cast<std::int64_t>(tokenizer_.vocab_size());
   gpt_cfg.d_model = config_.d_model;
@@ -49,25 +51,41 @@ int DpoAfPipeline::score_response(const driving::Task& task,
 std::vector<TaskCandidates> DpoAfPipeline::collect_candidates() {
   DPOAF_CHECK_MSG(pretrained_ || config_.candidates_from_catalog,
                   "call pretrain_model() before sampling candidates");
-  std::vector<TaskCandidates> out;
-  for (const auto& task : domain_.tasks()) {
-    if (!task.training) continue;  // pairs come from training tasks only
-    TaskCandidates tc;
-    tc.task_id = task.id;
-    if (config_.candidates_from_catalog) {
-      for (const auto& variant : task.variants)
-        tc.candidates.push_back(
-            {variant.text, score_response(task, variant.text)});
-    } else {
-      const auto responses =
-          lm::sample_responses(model_, tokenizer_, task.prompt,
-                               config_.responses_per_task, config_.sampler,
-                               rng_);
-      for (const auto& response : responses)
-        tc.candidates.push_back({response, score_response(task, response)});
+  std::vector<const driving::Task*> training;
+  for (const auto& task : domain_.tasks())
+    if (task.training) training.push_back(&task);  // pairs come from training tasks only
+
+  // One generator per task, split from the pipeline RNG in serial task
+  // order: the sampling stream each task sees is fixed before the fan-out,
+  // so any thread count yields identical candidates.
+  std::vector<Rng> task_rngs;
+  task_rngs.reserve(training.size());
+  for (std::size_t i = 0; i < training.size(); ++i)
+    task_rngs.push_back(rng_.split());
+
+  std::vector<TaskCandidates> out(training.size());
+  util::parallel_for(0, static_cast<std::int64_t>(training.size()), 1,
+                     [&](std::int64_t t0, std::int64_t t1) {
+    for (std::int64_t t = t0; t < t1; ++t) {
+      const auto u = static_cast<std::size_t>(t);
+      const driving::Task& task = *training[u];
+      TaskCandidates tc;
+      tc.task_id = task.id;
+      if (config_.candidates_from_catalog) {
+        for (const auto& variant : task.variants)
+          tc.candidates.push_back(
+              {variant.text, score_response(task, variant.text)});
+      } else {
+        const auto responses =
+            lm::sample_responses(model_, tokenizer_, task.prompt,
+                                 config_.responses_per_task, config_.sampler,
+                                 task_rngs[u]);
+        for (const auto& response : responses)
+          tc.candidates.push_back({response, score_response(task, response)});
+      }
+      out[u] = std::move(tc);
     }
-    out.push_back(std::move(tc));
-  }
+  });
   return out;
 }
 
@@ -86,6 +104,10 @@ std::vector<dpo::PreferencePair> DpoAfPipeline::build_pairs(
 
 CheckpointEval DpoAfPipeline::evaluate_model(const TinyGpt& model,
                                              int epoch) const {
+  // A zero sample count would divide by zero below and propagate NaN means
+  // into every CheckpointEval consumer; fail loudly instead.
+  DPOAF_CHECK_MSG(config_.eval_samples_per_task > 0,
+                  "eval_samples_per_task must be > 0");
   CheckpointEval eval;
   eval.epoch = epoch;
   // Deterministic per (seed, epoch) so evaluation noise is shared across
@@ -96,19 +118,37 @@ CheckpointEval DpoAfPipeline::evaluate_model(const TinyGpt& model,
   sampler.top_k = config_.eval_top_k;
   sampler.max_new_tokens = config_.eval_max_new_tokens;
 
+  // Per-task generators split in serial task order (see
+  // collect_candidates) keep the evaluation identical at any thread count.
+  const auto& tasks = domain_.tasks();
+  std::vector<Rng> task_rngs;
+  task_rngs.reserve(tasks.size());
+  for (std::size_t i = 0; i < tasks.size(); ++i)
+    task_rngs.push_back(eval_rng.split());
+
+  eval.per_task.resize(tasks.size());
+  util::parallel_for(0, static_cast<std::int64_t>(tasks.size()), 1,
+                     [&](std::int64_t t0, std::int64_t t1) {
+    for (std::int64_t t = t0; t < t1; ++t) {
+      const auto u = static_cast<std::size_t>(t);
+      const auto& task = tasks[u];
+      const auto responses = lm::sample_responses(
+          model, tokenizer_, task.prompt, config_.eval_samples_per_task,
+          sampler, task_rngs[u]);
+      double score_sum = 0.0;
+      for (const auto& response : responses)
+        score_sum += std::max(0, score_response(task, response));
+      eval.per_task[u] = {task.id,
+                          score_sum / static_cast<double>(responses.size())};
+    }
+  });
+
+  // Serial reduction in task order, independent of the fan-out above.
   double train_sum = 0.0, val_sum = 0.0;
   std::size_t train_n = 0, val_n = 0;
-  for (const auto& task : domain_.tasks()) {
-    const auto responses =
-        lm::sample_responses(model, tokenizer_, task.prompt,
-                             config_.eval_samples_per_task, sampler, eval_rng);
-    double score_sum = 0.0;
-    for (const auto& response : responses)
-      score_sum += std::max(0, score_response(task, response));
-    const double score =
-        score_sum / static_cast<double>(responses.size());
-    eval.per_task.emplace_back(task.id, score);
-    if (task.training) {
+  for (std::size_t u = 0; u < tasks.size(); ++u) {
+    const double score = eval.per_task[u].second;
+    if (tasks[u].training) {
       train_sum += score;
       ++train_n;
     } else {

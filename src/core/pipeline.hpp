@@ -30,6 +30,12 @@ using nn::Tokenizer;
 struct PipelineConfig {
   std::uint64_t seed = 1;
 
+  /// Compute parallelism for the tensor ops, the reference log-prob
+  /// precompute, and per-task scoring/eval. 0 ⇒ resolve from the
+  /// DPOAF_THREADS environment variable, else hardware concurrency.
+  /// Results are bitwise-identical at any setting (see DESIGN.md).
+  int threads = 0;
+
   // Model size (vocab is derived from the corpus).
   std::int64_t d_model = 48;
   std::int64_t n_heads = 4;

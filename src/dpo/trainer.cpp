@@ -6,6 +6,7 @@
 #include "nn/optim.hpp"
 #include "tensor/ops.hpp"
 #include "util/check.hpp"
+#include "util/threadpool.hpp"
 
 namespace dpoaf::dpo {
 
@@ -29,14 +30,22 @@ std::vector<EpochMetrics> DpoTrainer::train(
 
   // The reference model is frozen: its per-pair log-probabilities are
   // computed once up front (this is what makes long runs affordable).
+  // Pairs are independent and the reference is read-only, so the
+  // precompute fans out across the pool — each slot is written by exactly
+  // one chunk and each pair's forward is the same serial computation, so
+  // the values are thread-count-invariant.
   std::vector<float> ref_w(pairs.size());
   std::vector<float> ref_l(pairs.size());
-  for (std::size_t i = 0; i < pairs.size(); ++i) {
-    ref_w[i] = static_cast<float>(reference_.response_log_prob_value(
-        pairs[i].chosen, pairs[i].prompt_len));
-    ref_l[i] = static_cast<float>(reference_.response_log_prob_value(
-        pairs[i].rejected, pairs[i].prompt_len));
-  }
+  util::parallel_for(0, static_cast<std::int64_t>(pairs.size()), 1,
+                     [&](std::int64_t i0, std::int64_t i1) {
+    for (std::int64_t i = i0; i < i1; ++i) {
+      const auto u = static_cast<std::size_t>(i);
+      ref_w[u] = static_cast<float>(reference_.response_log_prob_value(
+          pairs[u].chosen, pairs[u].prompt_len));
+      ref_l[u] = static_cast<float>(reference_.response_log_prob_value(
+          pairs[u].rejected, pairs[u].prompt_len));
+    }
+  });
 
   nn::AdamWConfig opt_cfg;
   opt_cfg.lr = config_.lr;

@@ -1,5 +1,6 @@
 #include "logic/ltl.hpp"
 
+#include <mutex>
 #include <unordered_map>
 
 #include "util/check.hpp"
@@ -27,8 +28,18 @@ struct KeyHash {
   }
 };
 
-// Process-wide interning pool. The library is single-threaded by design
-// (see README: determinism section); a pool keeps node identity canonical.
+// Process-wide interning pool. Guarded by a mutex: candidate scoring and
+// checkpoint evaluation verify responses from pool worker threads, and
+// each verification builds derived formulas (NNF, tableau closures) that
+// intern nodes here. Node *identity* stays canonical — interning the same
+// structure always yields the same handle — but id assignment order may
+// vary across runs once threads race on first construction; nothing
+// observable depends on the order, only on identity.
+std::mutex& pool_mutex() {
+  static std::mutex m;
+  return m;
+}
+
 std::unordered_map<Key, Ltl, KeyHash>& pool() {
   static std::unordered_map<Key, Ltl, KeyHash> p;
   return p;
@@ -36,6 +47,7 @@ std::unordered_map<Key, Ltl, KeyHash>& pool() {
 
 Ltl intern(LtlOp op, int prop, const Ltl& lhs, const Ltl& rhs) {
   const Key key{op, prop, lhs ? lhs->id : 0, rhs ? rhs->id : 0};
+  std::lock_guard<std::mutex> lock(pool_mutex());
   auto& p = pool();
   if (auto it = p.find(key); it != p.end()) return it->second;
   static std::uint64_t next_id = 1;

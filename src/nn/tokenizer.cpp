@@ -27,14 +27,15 @@ std::vector<std::string> Tokenizer::words(std::string_view text) {
     }
     std::string w = to_lower(raw);
     // Split trailing '.' / ',' into their own tokens (possibly several,
-    // e.g. "light.," — rare but cheap to handle).
+    // e.g. "light.," — rare but cheap to handle). Collected back-to-front
+    // and reversed, so a long punctuation run ("stop.....") stays linear.
     std::vector<std::string> tail;
     while (!w.empty() && (w.back() == '.' || w.back() == ',')) {
-      tail.insert(tail.begin(), std::string(1, w.back()));
+      tail.emplace_back(1, w.back());
       w.pop_back();
     }
     if (!w.empty()) out.push_back(w);
-    out.insert(out.end(), tail.begin(), tail.end());
+    out.insert(out.end(), tail.rbegin(), tail.rend());
   }
   return out;
 }

@@ -1,6 +1,10 @@
 #include "tensor/ops.hpp"
 
+#include <algorithm>
 #include <cmath>
+#include <string>
+
+#include "util/threadpool.hpp"
 
 namespace dpoaf::tensor::ops {
 
@@ -13,24 +17,48 @@ bool track(const Tape* tape, std::initializer_list<const Tensor*> inputs) {
   return false;
 }
 
+std::string shape_str(const Shape& s) {
+  return "[" + std::to_string(s.rows) + "x" + std::to_string(s.cols) + "]";
+}
+
+std::string shapes_msg(const char* op, const Shape& a, const Shape& b) {
+  return std::string(op) + ": " + shape_str(a) + " vs " + shape_str(b);
+}
+
+// Minimum per-chunk work (in float ops) before an op fans out to the pool;
+// below this the dispatch overhead beats the parallelism.
+constexpr std::int64_t kGrainFlops = 16384;
+
+// Chunk size, in rows, for a loop whose per-row cost is `row_flops`.
+std::int64_t row_grain(std::int64_t row_flops) {
+  return row_flops < 1 ? kGrainFlops : std::max<std::int64_t>(1, kGrainFlops / row_flops);
+}
+
 }  // namespace
 
 Tensor matmul(Tape* tape, const Tensor& a, const Tensor& b) {
-  DPOAF_CHECK_MSG(a.cols() == b.rows(), "matmul: inner dimensions differ");
+  DPOAF_CHECK_MSG(a.cols() == b.rows(),
+                  shapes_msg("matmul: inner dimensions differ", a.shape(),
+                             b.shape()));
   const std::int64_t m = a.rows(), k = a.cols(), n = b.cols();
   Tensor c = Tensor::zeros({m, n});
   {
     const float* pa = a.data();
     const float* pb = b.data();
     float* pc = c.data();
-    for (std::int64_t i = 0; i < m; ++i) {
-      for (std::int64_t kk = 0; kk < k; ++kk) {
-        const float av = pa[i * k + kk];
-        const float* pbr = pb + kk * n;
-        float* pcr = pc + i * n;
-        for (std::int64_t j = 0; j < n; ++j) pcr[j] += av * pbr[j];
+    // Row partition: each output row is produced by exactly one chunk, in
+    // the serial kk/j order, so the result is thread-count-invariant.
+    util::parallel_for(0, m, row_grain(2 * k * n),
+                       [&](std::int64_t i0, std::int64_t i1) {
+      for (std::int64_t i = i0; i < i1; ++i) {
+        for (std::int64_t kk = 0; kk < k; ++kk) {
+          const float av = pa[i * k + kk];
+          const float* pbr = pb + kk * n;
+          float* pcr = pc + i * n;
+          for (std::int64_t j = 0; j < n; ++j) pcr[j] += av * pbr[j];
+        }
       }
-    }
+    });
   }
   if (track(tape, {&a, &b})) {
     c.set_requires_grad(true);
@@ -41,29 +69,38 @@ Tensor matmul(Tape* tape, const Tensor& a, const Tensor& b) {
       if (at.requires_grad()) {
         float* ga = at.grad();
         const float* pb = bt.data();
-        // dA[i,kk] += Σ_j gC[i,j] · B[kk,j]
-        for (std::int64_t i = 0; i < m; ++i) {
-          for (std::int64_t kk = 0; kk < k; ++kk) {
-            const float* gcr = gc + i * n;
-            const float* pbr = pb + kk * n;
-            float acc = 0.0f;
-            for (std::int64_t j = 0; j < n; ++j) acc += gcr[j] * pbr[j];
-            ga[i * k + kk] += acc;
+        // dA[i,kk] += Σ_j gC[i,j] · B[kk,j] — partition over i; each dA row
+        // belongs to one chunk and the j-reduction order is unchanged.
+        util::parallel_for(0, m, row_grain(2 * k * n),
+                           [&](std::int64_t i0, std::int64_t i1) {
+          for (std::int64_t i = i0; i < i1; ++i) {
+            for (std::int64_t kk = 0; kk < k; ++kk) {
+              const float* gcr = gc + i * n;
+              const float* pbr = pb + kk * n;
+              float acc = 0.0f;
+              for (std::int64_t j = 0; j < n; ++j) acc += gcr[j] * pbr[j];
+              ga[i * k + kk] += acc;
+            }
           }
-        }
+        });
       }
       if (bt.requires_grad()) {
         float* gb = bt.grad();
         const float* pa = at.data();
-        // dB[kk,j] += Σ_i A[i,kk] · gC[i,j]
-        for (std::int64_t i = 0; i < m; ++i) {
-          for (std::int64_t kk = 0; kk < k; ++kk) {
-            const float av = pa[i * k + kk];
-            const float* gcr = gc + i * n;
-            float* gbr = gb + kk * n;
-            for (std::int64_t j = 0; j < n; ++j) gbr[j] += av * gcr[j];
+        // dB[kk,j] += Σ_i A[i,kk] · gC[i,j] — partition over kk (dB rows) so
+        // no two chunks touch the same accumulator; i stays the outer loop,
+        // preserving the serial i-ascending accumulation order per cell.
+        util::parallel_for(0, k, row_grain(2 * m * n),
+                           [&](std::int64_t k0, std::int64_t k1) {
+          for (std::int64_t i = 0; i < m; ++i) {
+            for (std::int64_t kk = k0; kk < k1; ++kk) {
+              const float av = pa[i * k + kk];
+              const float* gcr = gc + i * n;
+              float* gbr = gb + kk * n;
+              for (std::int64_t j = 0; j < n; ++j) gbr[j] += av * gcr[j];
+            }
           }
-        }
+        });
       }
     });
   }
@@ -71,10 +108,14 @@ Tensor matmul(Tape* tape, const Tensor& a, const Tensor& b) {
 }
 
 Tensor add(Tape* tape, const Tensor& a, const Tensor& b) {
-  DPOAF_CHECK(a.shape() == b.shape());
+  DPOAF_CHECK_MSG(a.shape() == b.shape(),
+                  shapes_msg("add: shape mismatch", a.shape(), b.shape()));
   Tensor c = Tensor::zeros(a.shape());
-  for (std::int64_t i = 0; i < a.numel(); ++i)
-    c.data()[i] = a.data()[i] + b.data()[i];
+  util::parallel_for(0, a.numel(), kGrainFlops,
+                     [&](std::int64_t i0, std::int64_t i1) {
+    for (std::int64_t i = i0; i < i1; ++i)
+      c.data()[i] = a.data()[i] + b.data()[i];
+  });
   if (track(tape, {&a, &b})) {
     c.set_requires_grad(true);
     Tensor at = a, bt = b, ct = c;
@@ -82,11 +123,17 @@ Tensor add(Tape* tape, const Tensor& a, const Tensor& b) {
       const float* gc = ct.grad();
       if (at.requires_grad()) {
         float* ga = at.grad();
-        for (std::int64_t i = 0; i < at.numel(); ++i) ga[i] += gc[i];
+        util::parallel_for(0, at.numel(), kGrainFlops,
+                           [&](std::int64_t i0, std::int64_t i1) {
+          for (std::int64_t i = i0; i < i1; ++i) ga[i] += gc[i];
+        });
       }
       if (bt.requires_grad()) {
         float* gb = bt.grad();
-        for (std::int64_t i = 0; i < bt.numel(); ++i) gb[i] += gc[i];
+        util::parallel_for(0, bt.numel(), kGrainFlops,
+                           [&](std::int64_t i0, std::int64_t i1) {
+          for (std::int64_t i = i0; i < i1; ++i) gb[i] += gc[i];
+        });
       }
     });
   }
@@ -94,12 +141,18 @@ Tensor add(Tape* tape, const Tensor& a, const Tensor& b) {
 }
 
 Tensor add_rowwise(Tape* tape, const Tensor& x, const Tensor& bias) {
-  DPOAF_CHECK(bias.rows() == 1 && bias.cols() == x.cols());
+  DPOAF_CHECK_MSG(
+      bias.rows() == 1 && bias.cols() == x.cols(),
+      shapes_msg("add_rowwise: bias must be [1 x cols(x)]", x.shape(),
+                 bias.shape()));
   Tensor c = Tensor::zeros(x.shape());
   const std::int64_t m = x.rows(), n = x.cols();
-  for (std::int64_t i = 0; i < m; ++i)
-    for (std::int64_t j = 0; j < n; ++j)
-      c.data()[i * n + j] = x.data()[i * n + j] + bias.data()[j];
+  util::parallel_for(0, m, row_grain(n),
+                     [&](std::int64_t i0, std::int64_t i1) {
+    for (std::int64_t i = i0; i < i1; ++i)
+      for (std::int64_t j = 0; j < n; ++j)
+        c.data()[i * n + j] = x.data()[i * n + j] + bias.data()[j];
+  });
   if (track(tape, {&x, &bias})) {
     c.set_requires_grad(true);
     Tensor xt = x, bt = bias, ct = c;
@@ -108,9 +161,14 @@ Tensor add_rowwise(Tape* tape, const Tensor& x, const Tensor& bias) {
       const float* gc = ct.grad();
       if (xt.requires_grad()) {
         float* gx = xt.grad();
-        for (std::int64_t i = 0; i < m * n; ++i) gx[i] += gc[i];
+        util::parallel_for(0, m * n, kGrainFlops,
+                           [&](std::int64_t i0, std::int64_t i1) {
+          for (std::int64_t i = i0; i < i1; ++i) gx[i] += gc[i];
+        });
       }
       if (bt.requires_grad()) {
+        // Column reduction across rows: stays serial — splitting rows
+        // across threads would reorder the float accumulation into gb.
         float* gb = bt.grad();
         for (std::int64_t i = 0; i < m; ++i)
           for (std::int64_t j = 0; j < n; ++j) gb[j] += gc[i * n + j];
@@ -121,10 +179,14 @@ Tensor add_rowwise(Tape* tape, const Tensor& x, const Tensor& bias) {
 }
 
 Tensor mul(Tape* tape, const Tensor& a, const Tensor& b) {
-  DPOAF_CHECK(a.shape() == b.shape());
+  DPOAF_CHECK_MSG(a.shape() == b.shape(),
+                  shapes_msg("mul: shape mismatch", a.shape(), b.shape()));
   Tensor c = Tensor::zeros(a.shape());
-  for (std::int64_t i = 0; i < a.numel(); ++i)
-    c.data()[i] = a.data()[i] * b.data()[i];
+  util::parallel_for(0, a.numel(), kGrainFlops,
+                     [&](std::int64_t i0, std::int64_t i1) {
+    for (std::int64_t i = i0; i < i1; ++i)
+      c.data()[i] = a.data()[i] * b.data()[i];
+  });
   if (track(tape, {&a, &b})) {
     c.set_requires_grad(true);
     Tensor at = a, bt = b, ct = c;
@@ -132,13 +194,17 @@ Tensor mul(Tape* tape, const Tensor& a, const Tensor& b) {
       const float* gc = ct.grad();
       if (at.requires_grad()) {
         float* ga = at.grad();
-        for (std::int64_t i = 0; i < at.numel(); ++i)
-          ga[i] += gc[i] * bt.data()[i];
+        util::parallel_for(0, at.numel(), kGrainFlops,
+                           [&](std::int64_t i0, std::int64_t i1) {
+          for (std::int64_t i = i0; i < i1; ++i) ga[i] += gc[i] * bt.data()[i];
+        });
       }
       if (bt.requires_grad()) {
         float* gb = bt.grad();
-        for (std::int64_t i = 0; i < bt.numel(); ++i)
-          gb[i] += gc[i] * at.data()[i];
+        util::parallel_for(0, bt.numel(), kGrainFlops,
+                           [&](std::int64_t i0, std::int64_t i1) {
+          for (std::int64_t i = i0; i < i1; ++i) gb[i] += gc[i] * at.data()[i];
+        });
       }
     });
   }
@@ -151,7 +217,10 @@ Tensor sub(Tape* tape, const Tensor& a, const Tensor& b) {
 
 Tensor scale(Tape* tape, const Tensor& a, float s) {
   Tensor c = Tensor::zeros(a.shape());
-  for (std::int64_t i = 0; i < a.numel(); ++i) c.data()[i] = s * a.data()[i];
+  util::parallel_for(0, a.numel(), kGrainFlops,
+                     [&](std::int64_t i0, std::int64_t i1) {
+    for (std::int64_t i = i0; i < i1; ++i) c.data()[i] = s * a.data()[i];
+  });
   if (track(tape, {&a})) {
     c.set_requires_grad(true);
     Tensor at = a, ct = c;
@@ -159,7 +228,10 @@ Tensor scale(Tape* tape, const Tensor& a, float s) {
       if (!at.requires_grad()) return;
       float* ga = at.grad();
       const float* gc = ct.grad();
-      for (std::int64_t i = 0; i < at.numel(); ++i) ga[i] += s * gc[i];
+      util::parallel_for(0, at.numel(), kGrainFlops,
+                         [&](std::int64_t i0, std::int64_t i1) {
+        for (std::int64_t i = i0; i < i1; ++i) ga[i] += s * gc[i];
+      });
     });
   }
   return c;
@@ -168,11 +240,16 @@ Tensor scale(Tape* tape, const Tensor& a, float s) {
 Tensor gelu(Tape* tape, const Tensor& a) {
   constexpr float kC = 0.7978845608028654f;  // √(2/π)
   Tensor c = Tensor::zeros(a.shape());
-  for (std::int64_t i = 0; i < a.numel(); ++i) {
-    const float x = a.data()[i];
-    const float t = std::tanh(kC * (x + 0.044715f * x * x * x));
-    c.data()[i] = 0.5f * x * (1.0f + t);
-  }
+  // tanh is expensive relative to a flop; use a finer grain so mid-sized
+  // activations still fan out.
+  util::parallel_for(0, a.numel(), kGrainFlops / 16,
+                     [&](std::int64_t i0, std::int64_t i1) {
+    for (std::int64_t i = i0; i < i1; ++i) {
+      const float x = a.data()[i];
+      const float t = std::tanh(kC * (x + 0.044715f * x * x * x));
+      c.data()[i] = 0.5f * x * (1.0f + t);
+    }
+  });
   if (track(tape, {&a})) {
     c.set_requires_grad(true);
     Tensor at = a, ct = c;
@@ -180,14 +257,17 @@ Tensor gelu(Tape* tape, const Tensor& a) {
       if (!at.requires_grad()) return;
       float* ga = at.grad();
       const float* gc = ct.grad();
-      for (std::int64_t i = 0; i < at.numel(); ++i) {
-        const float x = at.data()[i];
-        const float u = kC * (x + 0.044715f * x * x * x);
-        const float t = std::tanh(u);
-        const float du = kC * (1.0f + 3.0f * 0.044715f * x * x);
-        const float d = 0.5f * (1.0f + t) + 0.5f * x * (1.0f - t * t) * du;
-        ga[i] += gc[i] * d;
-      }
+      util::parallel_for(0, at.numel(), kGrainFlops / 16,
+                         [&](std::int64_t i0, std::int64_t i1) {
+        for (std::int64_t i = i0; i < i1; ++i) {
+          const float x = at.data()[i];
+          const float u = kC * (x + 0.044715f * x * x * x);
+          const float t = std::tanh(u);
+          const float du = kC * (1.0f + 3.0f * 0.044715f * x * x);
+          const float d = 0.5f * (1.0f + t) + 0.5f * x * (1.0f - t * t) * du;
+          ga[i] += gc[i] * d;
+        }
+      });
     });
   }
   return c;
@@ -195,34 +275,47 @@ Tensor gelu(Tape* tape, const Tensor& a) {
 
 Tensor layer_norm(Tape* tape, const Tensor& x, const Tensor& gamma,
                   const Tensor& beta, float eps) {
-  DPOAF_CHECK(gamma.rows() == 1 && gamma.cols() == x.cols());
-  DPOAF_CHECK(beta.rows() == 1 && beta.cols() == x.cols());
+  DPOAF_CHECK_MSG(
+      gamma.rows() == 1 && gamma.cols() == x.cols(),
+      shapes_msg("layer_norm: gamma must be [1 x cols(x)]", x.shape(),
+                 gamma.shape()));
+  DPOAF_CHECK_MSG(
+      beta.rows() == 1 && beta.cols() == x.cols(),
+      shapes_msg("layer_norm: beta must be [1 x cols(x)]", x.shape(),
+                 beta.shape()));
   const std::int64_t m = x.rows(), n = x.cols();
   Tensor y = Tensor::zeros(x.shape());
-  // Cache per-row mean and inverse stddev for the backward pass.
+  // Cache per-row mean and inverse stddev for the backward pass. Each row's
+  // statistics are reduced entirely within its chunk (row partition), so
+  // the forward is thread-count-invariant.
   std::vector<float> mean(static_cast<std::size_t>(m));
   std::vector<float> inv_std(static_cast<std::size_t>(m));
-  for (std::int64_t i = 0; i < m; ++i) {
-    const float* xr = x.data() + i * n;
-    float mu = 0.0f;
-    for (std::int64_t j = 0; j < n; ++j) mu += xr[j];
-    mu /= static_cast<float>(n);
-    float var = 0.0f;
-    for (std::int64_t j = 0; j < n; ++j) var += (xr[j] - mu) * (xr[j] - mu);
-    var /= static_cast<float>(n);
-    const float is = 1.0f / std::sqrt(var + eps);
-    mean[static_cast<std::size_t>(i)] = mu;
-    inv_std[static_cast<std::size_t>(i)] = is;
-    float* yr = y.data() + i * n;
-    for (std::int64_t j = 0; j < n; ++j)
-      yr[j] = (xr[j] - mu) * is * gamma.data()[j] + beta.data()[j];
-  }
+  util::parallel_for(0, m, row_grain(4 * n),
+                     [&](std::int64_t i0, std::int64_t i1) {
+    for (std::int64_t i = i0; i < i1; ++i) {
+      const float* xr = x.data() + i * n;
+      float mu = 0.0f;
+      for (std::int64_t j = 0; j < n; ++j) mu += xr[j];
+      mu /= static_cast<float>(n);
+      float var = 0.0f;
+      for (std::int64_t j = 0; j < n; ++j) var += (xr[j] - mu) * (xr[j] - mu);
+      var /= static_cast<float>(n);
+      const float is = 1.0f / std::sqrt(var + eps);
+      mean[static_cast<std::size_t>(i)] = mu;
+      inv_std[static_cast<std::size_t>(i)] = is;
+      float* yr = y.data() + i * n;
+      for (std::int64_t j = 0; j < n; ++j)
+        yr[j] = (xr[j] - mu) * is * gamma.data()[j] + beta.data()[j];
+    }
+  });
   if (track(tape, {&x, &gamma, &beta})) {
     y.set_requires_grad(true);
     Tensor xt = x, gt = gamma, bt = beta, yt = y;
     tape->record([xt, gt, bt, yt, mean, inv_std]() mutable {
       const std::int64_t m = xt.rows(), n = xt.cols();
       const float* gy = yt.grad();
+      // Backward stays serial: the gamma/beta gradients reduce across rows,
+      // and a row partition would reorder that float accumulation.
       for (std::int64_t i = 0; i < m; ++i) {
         const float* xr = xt.data() + i * n;
         const float* gyr = gy + i * n;
@@ -267,20 +360,24 @@ template <typename Limit>
 Tensor softmax_impl(Tape* tape, const Tensor& x, Limit limit) {
   const std::int64_t m = x.rows(), n = x.cols();
   Tensor y = Tensor::zeros(x.shape());
-  for (std::int64_t i = 0; i < m; ++i) {
-    const std::int64_t lim = limit(i);
-    const float* xr = x.data() + i * n;
-    float* yr = y.data() + i * n;
-    float mx = -1e30f;
-    for (std::int64_t j = 0; j < lim; ++j) mx = std::max(mx, xr[j]);
-    float z = 0.0f;
-    for (std::int64_t j = 0; j < lim; ++j) {
-      yr[j] = std::exp(xr[j] - mx);
-      z += yr[j];
+  // Row partition: each row's max/sum reduction is confined to one chunk.
+  util::parallel_for(0, m, row_grain(4 * n),
+                     [&](std::int64_t i0, std::int64_t i1) {
+    for (std::int64_t i = i0; i < i1; ++i) {
+      const std::int64_t lim = limit(i);
+      const float* xr = x.data() + i * n;
+      float* yr = y.data() + i * n;
+      float mx = -1e30f;
+      for (std::int64_t j = 0; j < lim; ++j) mx = std::max(mx, xr[j]);
+      float z = 0.0f;
+      for (std::int64_t j = 0; j < lim; ++j) {
+        yr[j] = std::exp(xr[j] - mx);
+        z += yr[j];
+      }
+      const float inv = 1.0f / z;
+      for (std::int64_t j = 0; j < lim; ++j) yr[j] *= inv;
     }
-    const float inv = 1.0f / z;
-    for (std::int64_t j = 0; j < lim; ++j) yr[j] *= inv;
-  }
+  });
   if (track(tape, {&x})) {
     y.set_requires_grad(true);
     Tensor xt = x, yt = y;
@@ -289,15 +386,18 @@ Tensor softmax_impl(Tape* tape, const Tensor& x, Limit limit) {
       const std::int64_t m = xt.rows(), n = xt.cols();
       const float* gy = yt.grad();
       float* gx = xt.grad();
-      for (std::int64_t i = 0; i < m; ++i) {
-        const std::int64_t lim = limit(i);
-        const float* yr = yt.data() + i * n;
-        const float* gyr = gy + i * n;
-        float dot = 0.0f;
-        for (std::int64_t j = 0; j < lim; ++j) dot += gyr[j] * yr[j];
-        for (std::int64_t j = 0; j < lim; ++j)
-          gx[i * n + j] += yr[j] * (gyr[j] - dot);
-      }
+      util::parallel_for(0, m, row_grain(4 * n),
+                         [&](std::int64_t i0, std::int64_t i1) {
+        for (std::int64_t i = i0; i < i1; ++i) {
+          const std::int64_t lim = limit(i);
+          const float* yr = yt.data() + i * n;
+          const float* gyr = gy + i * n;
+          float dot = 0.0f;
+          for (std::int64_t j = 0; j < lim; ++j) dot += gyr[j] * yr[j];
+          for (std::int64_t j = 0; j < lim; ++j)
+            gx[i * n + j] += yr[j] * (gyr[j] - dot);
+        }
+      });
     });
   }
   return y;
@@ -349,7 +449,10 @@ Tensor embedding(Tape* tape, const Tensor& table,
 
 Tensor slice_cols(Tape* tape, const Tensor& x, std::int64_t start,
                   std::int64_t len) {
-  DPOAF_CHECK(start >= 0 && len > 0 && start + len <= x.cols());
+  DPOAF_CHECK_MSG(start >= 0 && len > 0 && start + len <= x.cols(),
+                  "slice_cols: [" + std::to_string(start) + ", " +
+                      std::to_string(start + len) + ") out of range for " +
+                      shape_str(x.shape()));
   const std::int64_t m = x.rows(), n = x.cols();
   Tensor y = Tensor::zeros({m, len});
   for (std::int64_t i = 0; i < m; ++i)
@@ -376,7 +479,9 @@ Tensor concat_cols(Tape* tape, const std::vector<Tensor>& parts) {
   const std::int64_t m = parts.front().rows();
   std::int64_t n = 0;
   for (const Tensor& p : parts) {
-    DPOAF_CHECK(p.rows() == m);
+    DPOAF_CHECK_MSG(p.rows() == m,
+                    shapes_msg("concat_cols: row mismatch",
+                               parts.front().shape(), p.shape()));
     n += p.cols();
   }
   Tensor y = Tensor::zeros({m, n});
@@ -457,7 +562,9 @@ namespace {
 // Σ/mean of -log p(target) with softmax-minus-onehot backward.
 Tensor nll(Tape* tape, const Tensor& logits, const std::vector<int>& targets,
            std::int64_t from, bool mean, float sign) {
-  DPOAF_CHECK(static_cast<std::int64_t>(targets.size()) == logits.rows());
+  DPOAF_CHECK_MSG(static_cast<std::int64_t>(targets.size()) == logits.rows(),
+                  "nll: " + std::to_string(targets.size()) +
+                      " targets for logits " + shape_str(logits.shape()));
   const std::int64_t t_len = logits.rows(), v = logits.cols();
   std::vector<std::int64_t> positions;
   for (std::int64_t t = from; t < t_len; ++t)
@@ -519,11 +626,14 @@ Tensor sum_log_probs(Tape* tape, const Tensor& logits,
 
 Tensor softplus(Tape* tape, const Tensor& x) {
   Tensor y = Tensor::zeros(x.shape());
-  for (std::int64_t i = 0; i < x.numel(); ++i) {
-    const float v = x.data()[i];
-    // log(1+eᵛ) = max(v,0) + log1p(e^{−|v|})
-    y.data()[i] = std::max(v, 0.0f) + std::log1p(std::exp(-std::fabs(v)));
-  }
+  util::parallel_for(0, x.numel(), kGrainFlops / 16,
+                     [&](std::int64_t i0, std::int64_t i1) {
+    for (std::int64_t i = i0; i < i1; ++i) {
+      const float v = x.data()[i];
+      // log(1+eᵛ) = max(v,0) + log1p(e^{−|v|})
+      y.data()[i] = std::max(v, 0.0f) + std::log1p(std::exp(-std::fabs(v)));
+    }
+  });
   if (track(tape, {&x})) {
     y.set_requires_grad(true);
     Tensor xt = x, yt = y;
@@ -531,10 +641,13 @@ Tensor softplus(Tape* tape, const Tensor& x) {
       if (!xt.requires_grad()) return;
       float* gx = xt.grad();
       const float* gy = yt.grad();
-      for (std::int64_t i = 0; i < xt.numel(); ++i) {
-        const float s = 1.0f / (1.0f + std::exp(-xt.data()[i]));
-        gx[i] += gy[i] * s;
-      }
+      util::parallel_for(0, xt.numel(), kGrainFlops / 16,
+                         [&](std::int64_t i0, std::int64_t i1) {
+        for (std::int64_t i = i0; i < i1; ++i) {
+          const float s = 1.0f / (1.0f + std::exp(-xt.data()[i]));
+          gx[i] += gy[i] * s;
+        }
+      });
     });
   }
   return y;

@@ -3,7 +3,11 @@
 // row-major 1-D/2-D tensors, a flat gradient buffer per tensor, and an
 // explicit Tape that records backward closures in execution order.
 //
-// Threading: single-threaded by design (the whole library is; see README).
+// Threading: the hot ops in ops.cpp fan out over the shared thread pool
+// (util/threadpool.hpp) with fixed, reduction-preserving partitions, so
+// results are bitwise-identical at any thread count; Tensor handles and
+// Tape themselves are not synchronized — don't share one Tape across
+// threads (see DESIGN.md "Threading model").
 #pragma once
 
 #include <cstdint>

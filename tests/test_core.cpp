@@ -102,6 +102,15 @@ TEST(Pipeline, EvaluationIsDeterministicPerSeedAndEpoch) {
     EXPECT_EQ(a.per_task[i].second, b.per_task[i].second);
 }
 
+TEST(Pipeline, EvaluationRejectsZeroSamplesPerTask) {
+  // Regression: eval_samples_per_task == 0 used to divide by zero and
+  // poison CheckpointEval means with NaN; it must fail loudly instead.
+  auto cfg = micro_config();
+  cfg.eval_samples_per_task = 0;
+  DpoAfPipeline pipe(cfg);
+  EXPECT_THROW((void)pipe.evaluate_model(pipe.model(), 0), ContractViolation);
+}
+
 TEST(Pipeline, ScoreResponseMatchesDomainFeedback) {
   DpoAfPipeline pipe(micro_config());
   const auto& task = pipe.domain().task_by_id("turn_right_traffic_light");

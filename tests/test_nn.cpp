@@ -43,6 +43,34 @@ TEST(Tokenizer, EncodeDecodeRoundTripsStepLists) {
             "turn right.");
 }
 
+TEST(Tokenizer, PunctuationRunsStayOrderedAndRoundTrip) {
+  // Regression: the tail used to be built with insert-at-front (quadratic
+  // on long runs); append-then-reverse must keep the emission order.
+  const auto w = Tokenizer::words("stop.,.,.");
+  ASSERT_EQ(w.size(), 6u);
+  EXPECT_EQ(w[0], "stop");
+  EXPECT_EQ(w[1], ".");
+  EXPECT_EQ(w[2], ",");
+  EXPECT_EQ(w[3], ".");
+  EXPECT_EQ(w[4], ",");
+  EXPECT_EQ(w[5], ".");
+
+  const std::string text = "wait, then stop... go, now.";
+  Tokenizer tok = Tokenizer::build({text});
+  const auto ids = tok.encode(text);
+  EXPECT_EQ(tok.decode(ids), "wait, then stop... go, now.");
+}
+
+TEST(Tokenizer, PathologicalPunctuationRunIsLinear) {
+  // A long all-punctuation token must come back verbatim (and quickly).
+  std::string text = "stop";
+  text.append(2000, '.');
+  const auto w = Tokenizer::words(text);
+  ASSERT_EQ(w.size(), 2001u);
+  EXPECT_EQ(w.front(), "stop");
+  for (std::size_t i = 1; i < w.size(); ++i) ASSERT_EQ(w[i], ".");
+}
+
 TEST(Tokenizer, UnknownWordsMapToUnk) {
   Tokenizer tok = Tokenizer::build({"known words"});
   const auto ids = tok.encode("unknown");
