@@ -43,7 +43,7 @@ std::map<std::string, double> evaluate_in_system(
 
     const auto responses = lm::sample_responses(
         model, pipe.tokenizer(), task.prompt, samples_per_task, sampler, rng);
-    for (const auto& response : responses) {
+    for (const auto& response : responses.texts) {
       auto g2f = glm2fsa::glm2fsa(response, pipe.domain().aligner(),
                                   pipe.domain().build_options());
       if (!g2f.parsed.ok()) {

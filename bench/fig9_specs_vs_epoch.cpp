@@ -45,14 +45,18 @@ int main(int argc, char** argv) {
 
   TextTable table("mean specifications satisfied per task group");
   table.set_header(
-      {"epoch", "training_tasks", "validation_tasks", "train_pct",
-       "val_pct"});
+      {"epoch", "training_tasks", "validation_tasks", "train_pct", "val_pct",
+       "train_unaligned_pct", "val_unaligned_pct", "truncated"});
   for (const auto& ckpt : result.checkpoints) {
-    table.add_row({std::to_string(ckpt.epoch),
-                   TextTable::num(ckpt.train_mean_satisfied, 2),
-                   TextTable::num(ckpt.val_mean_satisfied, 2),
-                   TextTable::num(ckpt.train_mean_satisfied / 15.0 * 100, 1),
-                   TextTable::num(ckpt.val_mean_satisfied / 15.0 * 100, 1)});
+    table.add_row(
+        {std::to_string(ckpt.epoch),
+         TextTable::num(ckpt.train_mean_satisfied, 2),
+         TextTable::num(ckpt.val_mean_satisfied, 2),
+         TextTable::num(ckpt.train_mean_satisfied / 15.0 * 100, 1),
+         TextTable::num(ckpt.val_mean_satisfied / 15.0 * 100, 1),
+         TextTable::num(ckpt.train_alignment_failure_rate * 100, 1),
+         TextTable::num(ckpt.val_alignment_failure_rate * 100, 1),
+         std::to_string(ckpt.truncated_responses)});
   }
   table.print(std::cout);
 
@@ -84,6 +88,10 @@ int main(int argc, char** argv) {
             << " -> best " << TextTable::num(best_val, 2)
             << (best_val > first.val_mean_satisfied ? " (rising, OK)"
                                                     : " (NOT OK)")
+            << "\n";
+
+  std::cout << "\nfeedback cache: " << result.feedback_cache_stats.summary()
+            << "\nbuchi cache:    " << result.buchi_cache_stats.summary()
             << "\n";
 
   bench::print_runtime(sw);

@@ -12,7 +12,8 @@ namespace {
 
 using namespace dpoaf;
 
-const driving::DrivingDomain& domain() {
+// Non-const: the cached-vs-uncached sweeps toggle the feedback cache.
+driving::DrivingDomain& domain() {
   static driving::DrivingDomain d;
   return d;
 }
@@ -40,6 +41,25 @@ void BM_LtlToBuchi(benchmark::State& state) {
 }
 BENCHMARK(BM_LtlToBuchi)->DenseRange(0, 14, 7);
 
+void BM_LtlToBuchiCached(benchmark::State& state) {
+  // Steady-state hit path of the spec-level Büchi cache: the first
+  // iteration pays one translation, every following one is a lookup.
+  const auto& spec =
+      domain().specs()[static_cast<std::size_t>(state.range(0))];
+  modelcheck::set_buchi_cache_enabled(true);
+  modelcheck::clear_buchi_cache();
+  std::size_t ba_states = 0;
+  for (auto _ : state) {
+    const auto ba =
+        modelcheck::ltl_to_buchi_cached(logic::ltl::lnot(spec.formula));
+    ba_states = ba->state_count();
+    benchmark::DoNotOptimize(ba_states);
+  }
+  state.counters["ba_states"] = static_cast<double>(ba_states);
+  state.SetLabel(spec.name);
+}
+BENCHMARK(BM_LtlToBuchiCached)->DenseRange(0, 14, 7);
+
 void BM_ProductConstruction(benchmark::State& state) {
   const auto& model = domain().universal_model();
   for (auto _ : state) {
@@ -51,6 +71,11 @@ void BM_ProductConstruction(benchmark::State& state) {
 BENCHMARK(BM_ProductConstruction);
 
 void BM_VerifyAllSpecs_Scenario(benchmark::State& state) {
+  // Arg 0: Büchi cache disabled (every spec retranslated per call).
+  // Arg 1: enabled — the steady state of the scoring hot path.
+  const bool cached = state.range(0) != 0;
+  modelcheck::set_buchi_cache_enabled(cached);
+  modelcheck::clear_buchi_cache();
   const auto& model = domain().model(driving::ScenarioId::TrafficLight);
   const auto product = automata::make_product(model, after_controller(),
                                               domain().product_options());
@@ -62,23 +87,60 @@ void BM_VerifyAllSpecs_Scenario(benchmark::State& state) {
     satisfied = report.satisfied();
     benchmark::DoNotOptimize(satisfied);
   }
+  modelcheck::set_buchi_cache_enabled(true);
   state.counters["satisfied"] = static_cast<double>(satisfied);
   state.counters["product_states"] =
       static_cast<double>(product.state_count());
+  state.SetLabel(cached ? "buchi_cached" : "buchi_uncached");
 }
-BENCHMARK(BM_VerifyAllSpecs_Scenario);
+BENCHMARK(BM_VerifyAllSpecs_Scenario)->Arg(0)->Arg(1);
 
 void BM_FullFeedbackChannel(benchmark::State& state) {
   // Text → parse → align → FSA → product → 15-spec verification: the cost
-  // of scoring one LM response.
+  // of scoring one LM response. Both memoization tiers disabled — this is
+  // the raw single-score cost the caches amortize.
+  domain().set_feedback_cache(false);
+  modelcheck::set_buchi_cache_enabled(false);
   for (auto _ : state) {
     const auto fb = driving::formal_feedback(
         domain(), driving::ScenarioId::TrafficLight,
         driving::paper_right_turn_before());
     benchmark::DoNotOptimize(fb.score());
   }
+  domain().set_feedback_cache(true);
+  modelcheck::set_buchi_cache_enabled(true);
 }
 BENCHMARK(BM_FullFeedbackChannel);
+
+void BM_ScoreRepeatedCandidates(benchmark::State& state) {
+  // The DPO-AF loop's actual scoring pattern: every candidate of a task
+  // re-scored across rounds (duplicate samples, checkpoint re-evaluation).
+  // Arg 0: both caches off. Arg 1: both on (cleared per iteration, so each
+  // iteration pays the compulsory misses and then replays).
+  auto& d = domain();
+  const bool cached = state.range(0) != 0;
+  const auto& task = d.task_by_id("turn_right_traffic_light");
+  constexpr int kRounds = 4;
+  for (auto _ : state) {
+    state.PauseTiming();
+    d.set_feedback_cache(cached);
+    modelcheck::set_buchi_cache_enabled(cached);
+    d.clear_feedback_cache();
+    modelcheck::clear_buchi_cache();
+    state.ResumeTiming();
+    int total = 0;
+    for (int round = 0; round < kRounds; ++round)
+      for (const auto& v : task.variants)
+        total += driving::formal_feedback(d, task.scenario, v.text).score();
+    benchmark::DoNotOptimize(total);
+  }
+  d.set_feedback_cache(true);
+  modelcheck::set_buchi_cache_enabled(true);
+  state.counters["scores_per_iter"] =
+      static_cast<double>(kRounds * task.variants.size());
+  state.SetLabel(cached ? "cached" : "uncached");
+}
+BENCHMARK(BM_ScoreRepeatedCandidates)->Arg(0)->Arg(1);
 
 }  // namespace
 

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "modelcheck/buchi.hpp"
 #include "util/check.hpp"
 #include "util/threadpool.hpp"
 
@@ -12,6 +13,7 @@ DpoAfPipeline::DpoAfPipeline(PipelineConfig config)
       tokenizer_(lm::build_tokenizer(domain_.tasks())),
       rng_(config.seed) {
   util::set_global_threads(config_.threads);
+  domain_.set_feedback_cache(config_.feedback_cache);
   nn::GptConfig gpt_cfg;
   gpt_cfg.vocab_size = static_cast<std::int64_t>(tokenizer_.vocab_size());
   gpt_cfg.d_model = config_.d_model;
@@ -80,7 +82,8 @@ std::vector<TaskCandidates> DpoAfPipeline::collect_candidates() {
             lm::sample_responses(model_, tokenizer_, task.prompt,
                                  config_.responses_per_task, config_.sampler,
                                  task_rngs[u]);
-        for (const auto& response : responses)
+        tc.truncated = responses.truncated_count();
+        for (const auto& response : responses.texts)
           tc.candidates.push_back({response, score_response(task, response)});
       }
       out[u] = std::move(tc);
@@ -127,6 +130,8 @@ CheckpointEval DpoAfPipeline::evaluate_model(const TinyGpt& model,
     task_rngs.push_back(eval_rng.split());
 
   eval.per_task.resize(tasks.size());
+  eval.per_task_alignment_failure.resize(tasks.size());
+  std::vector<int> per_task_truncated(tasks.size(), 0);
   util::parallel_for(0, static_cast<std::int64_t>(tasks.size()), 1,
                      [&](std::int64_t t0, std::int64_t t1) {
     for (std::int64_t t = t0; t < t1; ++t) {
@@ -135,29 +140,50 @@ CheckpointEval DpoAfPipeline::evaluate_model(const TinyGpt& model,
       const auto responses = lm::sample_responses(
           model, tokenizer_, task.prompt, config_.eval_samples_per_task,
           sampler, task_rngs[u]);
+      per_task_truncated[u] = responses.truncated_count();
       double score_sum = 0.0;
-      for (const auto& response : responses)
-        score_sum += std::max(0, score_response(task, response));
-      eval.per_task[u] = {task.id,
-                          score_sum / static_cast<double>(responses.size())};
+      int failures = 0;
+      for (const auto& response : responses.texts) {
+        const int score = score_response(task, response);
+        // The mean counts an unalignable response as 0 satisfied specs;
+        // the failure itself is tallied separately so the two outcomes
+        // stay distinguishable.
+        if (score < 0) ++failures;
+        score_sum += std::max(0, score);
+      }
+      const auto n = static_cast<double>(responses.texts.size());
+      eval.per_task[u] = {task.id, score_sum / n};
+      eval.per_task_alignment_failure[u] = static_cast<double>(failures) / n;
     }
   });
 
   // Serial reduction in task order, independent of the fan-out above.
   double train_sum = 0.0, val_sum = 0.0;
+  double train_fail = 0.0, val_fail = 0.0;
   std::size_t train_n = 0, val_n = 0;
   for (std::size_t u = 0; u < tasks.size(); ++u) {
     const double score = eval.per_task[u].second;
+    const double fail = eval.per_task_alignment_failure[u];
+    eval.truncated_responses += per_task_truncated[u];
     if (tasks[u].training) {
       train_sum += score;
+      train_fail += fail;
       ++train_n;
     } else {
       val_sum += score;
+      val_fail += fail;
       ++val_n;
     }
   }
-  if (train_n > 0) eval.train_mean_satisfied = train_sum / static_cast<double>(train_n);
-  if (val_n > 0) eval.val_mean_satisfied = val_sum / static_cast<double>(val_n);
+  if (train_n > 0) {
+    eval.train_mean_satisfied = train_sum / static_cast<double>(train_n);
+    eval.train_alignment_failure_rate =
+        train_fail / static_cast<double>(train_n);
+  }
+  if (val_n > 0) {
+    eval.val_mean_satisfied = val_sum / static_cast<double>(val_n);
+    eval.val_alignment_failure_rate = val_fail / static_cast<double>(val_n);
+  }
   return eval;
 }
 
@@ -171,6 +197,8 @@ RunResult DpoAfPipeline::run_dpo(
         result.checkpoints.push_back(evaluate_model(policy, epoch));
       });
   model_ = trainer.policy().clone();
+  result.feedback_cache_stats = domain_.feedback_cache_stats();
+  result.buchi_cache_stats = modelcheck::buchi_cache_stats();
   return result;
 }
 

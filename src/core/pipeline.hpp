@@ -61,11 +61,18 @@ struct PipelineConfig {
 
   // Checkpoint evaluation: sample this many responses per task at the
   // given temperature and average the per-response specification counts
-  // (an unalignable response counts 0). Deterministic per (seed, epoch).
+  // (an unalignable response counts 0; the failure *rate* is reported
+  // separately in CheckpointEval). Deterministic per (seed, epoch).
   int eval_samples_per_task = 10;
   float eval_temperature = 0.7f;
   int eval_top_k = 6;
   int eval_max_new_tokens = 72;
+
+  /// Memoize formal feedback per (scenario, canonicalized response text).
+  /// Feedback is deterministic, so caching cannot change any metric (the
+  /// property tests assert bitwise-identical runs either way); off means
+  /// every response is re-parsed and re-verified from scratch.
+  bool feedback_cache = true;
 };
 
 /// Per-checkpoint formal-verification evaluation (Figure 9's y-axis).
@@ -73,18 +80,35 @@ struct CheckpointEval {
   int epoch = 0;
   double train_mean_satisfied = 0.0;  // mean over training tasks, of 15
   double val_mean_satisfied = 0.0;    // mean over validation tasks, of 15
+  // Fraction of sampled responses whose feedback score was −1 (GLM2FSA
+  // alignment failed). The means above count such responses as 0 satisfied
+  // specs; these rates keep "unalignable" distinguishable from "aligned
+  // but satisfied nothing" — the §4.1 property-1 signal.
+  double train_alignment_failure_rate = 0.0;
+  double val_alignment_failure_rate = 0.0;
+  // Responses cut short by the model's max_seq context limit (still
+  // scored; surfaced so truncation is never silent).
+  int truncated_responses = 0;
   std::vector<std::pair<std::string, double>> per_task;
+  // Parallel to per_task: alignment-failure fraction per task.
+  std::vector<double> per_task_alignment_failure;
 };
 
 struct TaskCandidates {
   std::string task_id;
   std::vector<dpo::Candidate> candidates;  // text + verification score
+  int truncated = 0;  // sampled candidates that hit the context limit
 };
 
 struct RunResult {
   std::vector<dpo::EpochMetrics> metrics;     // Figure 8 series
   std::vector<CheckpointEval> checkpoints;    // Figure 9 series
   std::size_t pair_count = 0;
+  /// Memoization counters at the end of the run: the domain's
+  /// (scenario, response) feedback cache and the process-wide LTL→Büchi
+  /// translation cache (the latter is cumulative across pipelines).
+  util::CacheStats feedback_cache_stats;
+  util::CacheStats buchi_cache_stats;
 };
 
 class DpoAfPipeline {

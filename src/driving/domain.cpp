@@ -2,6 +2,7 @@
 
 #include "automata/product.hpp"
 #include "util/check.hpp"
+#include "util/strings.hpp"
 
 namespace dpoaf::driving {
 
@@ -50,9 +51,25 @@ const Task& DrivingDomain::task_by_id(std::string_view id) const {
   return tasks_.front();
 }
 
-FeedbackResult formal_feedback(const DrivingDomain& domain,
-                               ScenarioId scenario,
-                               std::string_view response_text) {
+std::string canonical_response_text(std::string_view response_text) {
+  // Mirror glm2fsa::split_steps's projection: split on '\n', trim each
+  // line (which also strips '\r'), drop blanks. Texts differing only in
+  // line endings or surrounding whitespace share one cache entry.
+  std::string out;
+  for (const std::string& raw : split(response_text, '\n')) {
+    const std::string line = trim(raw);
+    if (line.empty()) continue;
+    if (!out.empty()) out += '\n';
+    out += line;
+  }
+  return out;
+}
+
+namespace {
+
+FeedbackResult compute_feedback(const DrivingDomain& domain,
+                                ScenarioId scenario,
+                                std::string_view response_text) {
   FeedbackResult result;
   auto g2f = glm2fsa::glm2fsa(response_text, domain.aligner(),
                               domain.build_options());
@@ -68,6 +85,21 @@ FeedbackResult formal_feedback(const DrivingDomain& domain,
   result.report = modelcheck::verify_all(product, domain.specs(),
                                          domain.fairness(scenario));
   return result;
+}
+
+}  // namespace
+
+FeedbackResult formal_feedback(const DrivingDomain& domain,
+                               ScenarioId scenario,
+                               std::string_view response_text) {
+  if (!domain.feedback_cache_enabled())
+    return compute_feedback(domain, scenario, response_text);
+  std::string key = scenario_name(scenario);
+  key += '\n';
+  key += canonical_response_text(response_text);
+  return domain.feedback_cache_.get_or_compute(key, [&] {
+    return compute_feedback(domain, scenario, response_text);
+  });
 }
 
 }  // namespace dpoaf::driving

@@ -4,6 +4,13 @@
 // automated feedback channel (§4.2, Formal Verification): response text →
 // GLM2FSA controller → product with the task's scenario model → count of
 // satisfied specifications.
+//
+// Feedback is a pure function of (scenario, response text), and the DPO-AF
+// loop re-scores identical texts constantly (low-temperature sampling,
+// checkpoint re-evaluation), so the domain memoizes it: a content-addressed
+// cache keyed by (scenario, canonicalized response text) returns the stored
+// FeedbackResult on repeat queries. Hits are indistinguishable from
+// recomputation (enforced by tests/test_properties.cpp).
 #pragma once
 
 #include <map>
@@ -16,12 +23,28 @@
 #include "driving/tasks.hpp"
 #include "glm2fsa/builder.hpp"
 #include "modelcheck/checker.hpp"
+#include "util/cache.hpp"
 
 namespace dpoaf::driving {
 
 using glm2fsa::PhraseAligner;
 using logic::Symbol;
 using modelcheck::VerificationReport;
+
+/// Outcome of the automated-feedback pipeline on one response.
+struct FeedbackResult {
+  bool aligned = false;        // GLM2FSA parse/alignment succeeded
+  std::vector<glm2fsa::ParseIssue> issues;  // why alignment failed
+  VerificationReport report;   // valid when aligned
+  automata::FsaController controller;  // valid when aligned
+
+  /// Ranking score: number of satisfied specifications, with alignment
+  /// failures ranked strictly below every verifiable response (the
+  /// fine-tuning explicitly also targets alignability, §4.1 property 1).
+  [[nodiscard]] int score() const {
+    return aligned ? static_cast<int>(report.satisfied()) : -1;
+  }
+};
 
 class DrivingDomain {
  public:
@@ -43,7 +66,25 @@ class DrivingDomain {
 
   [[nodiscard]] const Task& task_by_id(std::string_view id) const;
 
+  /// Toggle the formal-feedback memoization (default on). Disabling does
+  /// not clear stored entries; clear_feedback_cache() does.
+  void set_feedback_cache(bool enabled) { feedback_cache_on_ = enabled; }
+  [[nodiscard]] bool feedback_cache_enabled() const {
+    return feedback_cache_on_;
+  }
+  [[nodiscard]] util::CacheStats feedback_cache_stats() const {
+    return feedback_cache_.stats();
+  }
+  void clear_feedback_cache() {
+    feedback_cache_.clear();
+    feedback_cache_.reset_stats();
+  }
+
  private:
+  friend FeedbackResult formal_feedback(const DrivingDomain& domain,
+                                        ScenarioId scenario,
+                                        std::string_view response_text);
+
   logic::Vocabulary vocab_;
   PhraseAligner aligner_;
   std::vector<NamedSpec> specs_;
@@ -52,25 +93,22 @@ class DrivingDomain {
   std::map<ScenarioId, std::vector<logic::Ltl>> fairness_;
   TransitionSystem universal_;
   Symbol stop_action_ = 0;
+  bool feedback_cache_on_ = true;
+  // Mutable: formal_feedback takes a const domain (scoring threads share
+  // it read-only); the cache is the one internally synchronized exception.
+  mutable util::ShardedCache<std::string, FeedbackResult> feedback_cache_{
+      /*capacity_per_shard=*/512, /*shards=*/16};
 };
 
-/// Outcome of the automated-feedback pipeline on one response.
-struct FeedbackResult {
-  bool aligned = false;        // GLM2FSA parse/alignment succeeded
-  std::vector<glm2fsa::ParseIssue> issues;  // why alignment failed
-  VerificationReport report;   // valid when aligned
-  automata::FsaController controller;  // valid when aligned
-
-  /// Ranking score: number of satisfied specifications, with alignment
-  /// failures ranked strictly below every verifiable response (the
-  /// fine-tuning explicitly also targets alignability, §4.1 property 1).
-  [[nodiscard]] int score() const {
-    return aligned ? static_cast<int>(report.satisfied()) : -1;
-  }
-};
+/// The cache key's text component: CR/LF normalized, lines trimmed, blank
+/// lines dropped. Exactly the projection the GLM2FSA step splitter applies
+/// before parsing, so two texts with equal canonical forms are guaranteed
+/// the same feedback. Exposed for tests.
+std::string canonical_response_text(std::string_view response_text);
 
 /// Run the full formal-verification feedback on one response text within
-/// the given scenario.
+/// the given scenario. Memoized per domain (see class comment); the
+/// returned value is identical whether it was computed or replayed.
 FeedbackResult formal_feedback(const DrivingDomain& domain,
                                ScenarioId scenario,
                                std::string_view response_text);

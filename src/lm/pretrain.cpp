@@ -51,29 +51,31 @@ PretrainStats pretrain(TinyGpt& model,
   return stats;
 }
 
-std::vector<std::string> sample_responses(const TinyGpt& model,
-                                          const Tokenizer& tok,
-                                          const std::string& task_prompt,
-                                          int m, const SamplerConfig& config,
-                                          Rng& rng) {
+SampledResponses sample_responses(const TinyGpt& model, const Tokenizer& tok,
+                                  const std::string& task_prompt, int m,
+                                  const SamplerConfig& config, Rng& rng) {
   DPOAF_CHECK(m > 0);
   const std::vector<int> prompt = encode_prompt(tok, task_prompt);
-  std::vector<std::string> out;
-  out.reserve(static_cast<std::size_t>(m));
+  SampledResponses out;
+  out.texts.reserve(static_cast<std::size_t>(m));
+  out.truncated.reserve(static_cast<std::size_t>(m));
   for (int s = 0; s < m; ++s) {
-    const auto ids =
+    const auto gen =
         model.generate(prompt, config.max_new_tokens, config.temperature,
                        config.top_k, tok.eos(), rng);
-    out.push_back(tok.decode(ids));
+    out.texts.push_back(tok.decode(gen.ids));
+    out.truncated.push_back(gen.truncated);
   }
   return out;
 }
 
 std::string greedy_response(const TinyGpt& model, const Tokenizer& tok,
                             const std::string& task_prompt,
-                            int max_new_tokens) {
+                            int max_new_tokens, bool* truncated) {
   const std::vector<int> prompt = encode_prompt(tok, task_prompt);
-  return tok.decode(model.generate_greedy(prompt, max_new_tokens, tok.eos()));
+  const auto gen = model.generate_greedy(prompt, max_new_tokens, tok.eos());
+  if (truncated != nullptr) *truncated = gen.truncated;
+  return tok.decode(gen.ids);
 }
 
 }  // namespace dpoaf::lm

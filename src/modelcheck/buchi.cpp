@@ -1,6 +1,7 @@
 #include "modelcheck/buchi.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <map>
 #include <set>
 #include <unordered_map>
@@ -285,6 +286,46 @@ BuchiAutomaton ltl_to_buchi(const Ltl& formula, BuchiStats& stats) {
   stats.ba_states = ba.state_count();
   stats.ba_transitions = ba.transition_count();
   return ba;
+}
+
+namespace {
+
+// Process-wide translation cache. Shard count is modest: the working set
+// is one formula per (spec, fairness set) pair — dozens, not millions —
+// but the capacity must comfortably exceed it so the rulebook is never
+// evicted mid-run.
+std::atomic<bool> buchi_cache_on{true};
+
+util::ShardedCache<std::uint64_t, BuchiPtr>& buchi_cache() {
+  static util::ShardedCache<std::uint64_t, BuchiPtr> cache(
+      /*capacity_per_shard=*/256, /*shards=*/8);
+  return cache;
+}
+
+}  // namespace
+
+BuchiPtr ltl_to_buchi_cached(const Ltl& formula) {
+  DPOAF_CHECK(formula != nullptr);
+  if (!buchi_cache_on.load(std::memory_order_relaxed))
+    return std::make_shared<const BuchiAutomaton>(ltl_to_buchi(formula));
+  return buchi_cache().get_or_compute(formula->id, [&] {
+    return std::make_shared<const BuchiAutomaton>(ltl_to_buchi(formula));
+  });
+}
+
+void set_buchi_cache_enabled(bool enabled) {
+  buchi_cache_on.store(enabled, std::memory_order_relaxed);
+}
+
+bool buchi_cache_enabled() {
+  return buchi_cache_on.load(std::memory_order_relaxed);
+}
+
+util::CacheStats buchi_cache_stats() { return buchi_cache().stats(); }
+
+void clear_buchi_cache() {
+  buchi_cache().clear();
+  buchi_cache().reset_stats();
 }
 
 }  // namespace dpoaf::modelcheck

@@ -6,11 +6,13 @@
 // (Baier & Katoen, Principles of Model Checking, Thm. 4.56).
 #pragma once
 
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "logic/ltl.hpp"
 #include "logic/vocabulary.hpp"
+#include "util/cache.hpp"
 
 namespace dpoaf::modelcheck {
 
@@ -51,5 +53,28 @@ struct BuchiStats {
   std::size_t ba_transitions = 0;
 };
 BuchiAutomaton ltl_to_buchi(const Ltl& formula, BuchiStats& stats);
+
+/// Shared immutable handle to a translated automaton. Checking only reads
+/// the automaton, so one translation can serve every verify_all call.
+using BuchiPtr = std::shared_ptr<const BuchiAutomaton>;
+
+/// Memoized translation: one GPVW tableau run per distinct formula per
+/// process, keyed by hash-consed formula identity (LtlNode::id — pointer
+/// equality ⇔ structural equality, and interned nodes are never freed, so
+/// ids are stable). The checker routes every ¬Φ and fairness-implication
+/// form through this; repeated verification of the same rulebook skips
+/// both the tableau and its interning traffic on the mutex-guarded LTL
+/// pool. Falls back to a fresh translation when the cache is disabled.
+BuchiPtr ltl_to_buchi_cached(const Ltl& formula);
+
+/// Toggle the process-wide translation cache (default on). Disabling does
+/// not clear it; re-enabling resumes hitting existing entries. Only the
+/// cached-vs-uncached benches and tests should turn this off.
+void set_buchi_cache_enabled(bool enabled);
+[[nodiscard]] bool buchi_cache_enabled();
+
+/// Counters of the process-wide translation cache.
+[[nodiscard]] util::CacheStats buchi_cache_stats();
+void clear_buchi_cache();  // drops entries and resets the counters
 
 }  // namespace dpoaf::modelcheck

@@ -184,7 +184,10 @@ CheckResult check(const Kripke& kripke, const Ltl& spec) {
   DPOAF_CHECK(spec != nullptr);
   CheckResult res;
 
-  const BuchiAutomaton ba = ltl_to_buchi(logic::ltl::lnot(spec));
+  // ¬Φ is hash-consed, so repeated checks of the same spec share one
+  // translated automaton (read-only) instead of re-running the tableau.
+  const BuchiPtr ba_ptr = ltl_to_buchi_cached(logic::ltl::lnot(spec));
+  const BuchiAutomaton& ba = *ba_ptr;
   res.buchi_states = ba.state_count();
 
   const Product prod = build_product(kripke, ba);

@@ -70,27 +70,35 @@ double TinyGpt::response_log_prob_value(const std::vector<int>& ids,
       response_log_prob(nullptr, ids, prompt_len).item());
 }
 
-std::vector<int> TinyGpt::generate(const std::vector<int>& prompt,
-                                   int max_new, float temperature, int top_k,
-                                   int eos_id, Rng& rng) const {
+Generation TinyGpt::generate(const std::vector<int>& prompt, int max_new,
+                             float temperature, int top_k, int eos_id,
+                             Rng& rng) const {
   DPOAF_CHECK(!prompt.empty());
   DPOAF_CHECK(temperature > 0.0f);
+  DPOAF_CHECK_MSG(static_cast<std::int64_t>(prompt.size()) <= config_.max_seq,
+                  "prompt alone exceeds max_seq");
   DecodeSession session(*this);
   std::int64_t consumed = 0;
   for (std::size_t i = 0; i + 1 < prompt.size(); ++i) {
     session.step(prompt[i]);
     ++consumed;
   }
-  std::vector<int> fresh;
+  Generation out;
   int last = prompt.back();
   for (int step = 0; step < max_new; ++step) {
-    if (consumed + 1 >= config_.max_seq) break;
+    if (consumed + 1 >= config_.max_seq) {
+      out.truncated = true;  // context exhausted before eos/max_new
+      break;
+    }
     const std::vector<float>& logits = session.step(last);
     ++consumed;
     const std::int64_t v = config_.vocab_size;
     const float* row = logits.data();
 
-    // Collect (logit, id), optionally truncated to the top-k.
+    // Collect (logit, id), optionally truncated to the top-k. Ties break
+    // by ascending token id: partial_sort's ordering of equal keys is
+    // implementation-defined, and the candidate set must not depend on
+    // the standard library.
     std::vector<std::pair<float, int>> cand;
     cand.reserve(static_cast<std::size_t>(v));
     for (std::int64_t j = 0; j < v; ++j)
@@ -98,7 +106,8 @@ std::vector<int> TinyGpt::generate(const std::vector<int>& prompt,
     if (top_k > 0 && top_k < static_cast<int>(cand.size())) {
       std::partial_sort(cand.begin(), cand.begin() + top_k, cand.end(),
                         [](const auto& a, const auto& b) {
-                          return a.first > b.first;
+                          if (a.first != b.first) return a.first > b.first;
+                          return a.second < b.second;
                         });
       cand.resize(static_cast<std::size_t>(top_k));
     }
@@ -111,24 +120,29 @@ std::vector<int> TinyGpt::generate(const std::vector<int>& prompt,
     const int next = cand[rng.weighted(weights)].second;
     if (next == eos_id) break;
     last = next;
-    fresh.push_back(next);
+    out.ids.push_back(next);
   }
-  return fresh;
+  return out;
 }
 
-std::vector<int> TinyGpt::generate_greedy(const std::vector<int>& prompt,
-                                          int max_new, int eos_id) const {
+Generation TinyGpt::generate_greedy(const std::vector<int>& prompt,
+                                    int max_new, int eos_id) const {
   DPOAF_CHECK(!prompt.empty());
+  DPOAF_CHECK_MSG(static_cast<std::int64_t>(prompt.size()) <= config_.max_seq,
+                  "prompt alone exceeds max_seq");
   DecodeSession session(*this);
   std::int64_t consumed = 0;
   for (std::size_t i = 0; i + 1 < prompt.size(); ++i) {
     session.step(prompt[i]);
     ++consumed;
   }
-  std::vector<int> fresh;
+  Generation out;
   int last = prompt.back();
   for (int step = 0; step < max_new; ++step) {
-    if (consumed + 1 >= config_.max_seq) break;
+    if (consumed + 1 >= config_.max_seq) {
+      out.truncated = true;
+      break;
+    }
     const std::vector<float>& logits = session.step(last);
     ++consumed;
     const std::int64_t v = config_.vocab_size;
@@ -138,9 +152,9 @@ std::vector<int> TinyGpt::generate_greedy(const std::vector<int>& prompt,
       if (row[j] > row[best]) best = static_cast<int>(j);
     if (best == eos_id) break;
     last = best;
-    fresh.push_back(best);
+    out.ids.push_back(best);
   }
-  return fresh;
+  return out;
 }
 
 void TinyGpt::enable_lora(std::int64_t rank, float alpha, Rng& rng) {

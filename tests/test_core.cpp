@@ -111,6 +111,57 @@ TEST(Pipeline, EvaluationRejectsZeroSamplesPerTask) {
   EXPECT_THROW((void)pipe.evaluate_model(pipe.model(), 0), ContractViolation);
 }
 
+TEST(Pipeline, EvaluationReportsAlignmentFailuresExplicitly) {
+  DpoAfPipeline pipe(micro_config());
+  const auto eval = pipe.evaluate_model(pipe.model(), 0);
+  const auto& tasks = pipe.domain().tasks();
+  ASSERT_EQ(eval.per_task_alignment_failure.size(), tasks.size());
+
+  double train_fail = 0.0, val_fail = 0.0;
+  std::size_t train_n = 0, val_n = 0;
+  for (std::size_t i = 0; i < tasks.size(); ++i) {
+    const double rate = eval.per_task_alignment_failure[i];
+    EXPECT_GE(rate, 0.0);
+    EXPECT_LE(rate, 1.0);
+    if (tasks[i].training) {
+      train_fail += rate;
+      ++train_n;
+    } else {
+      val_fail += rate;
+      ++val_n;
+    }
+  }
+  EXPECT_NEAR(eval.train_alignment_failure_rate,
+              train_fail / static_cast<double>(train_n), 1e-12);
+  EXPECT_NEAR(eval.val_alignment_failure_rate,
+              val_fail / static_cast<double>(val_n), 1e-12);
+  EXPECT_GE(eval.truncated_responses, 0);
+  // An untrained model emits mostly unalignable text; the clamped mean no
+  // longer hides that — the explicit failure rate reports it.
+  EXPECT_GT(eval.train_alignment_failure_rate, 0.0);
+}
+
+TEST(Pipeline, RunResultCarriesCacheStatistics) {
+  DpoAfPipeline pipe(micro_config());  // feedback_cache defaults to on
+  pipe.pretrain_model();
+  const auto result =
+      pipe.run_dpo(pipe.build_pairs(pipe.collect_candidates()));
+  // Catalog candidates + checkpoint evals re-verify the same spec set;
+  // both memoization tiers must have seen traffic, and the Büchi tier must
+  // have hit (the 15 rulebook formulas recur on every verification).
+  EXPECT_GT(result.buchi_cache_stats.hits, 0u);
+  EXPECT_GT(result.feedback_cache_stats.hits +
+                result.feedback_cache_stats.misses,
+            0u);
+  // Re-scoring a text already seen by collect_candidates is a cache hit.
+  const auto before = pipe.domain().feedback_cache_stats();
+  const auto& task = pipe.domain().task_by_id("turn_right_traffic_light");
+  (void)pipe.score_response(task, task.variants[0].text);
+  const auto after = pipe.domain().feedback_cache_stats();
+  EXPECT_EQ(after.hits, before.hits + 1);
+  EXPECT_EQ(after.misses, before.misses);
+}
+
 TEST(Pipeline, ScoreResponseMatchesDomainFeedback) {
   DpoAfPipeline pipe(micro_config());
   const auto& task = pipe.domain().task_by_id("turn_right_traffic_light");

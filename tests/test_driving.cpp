@@ -16,6 +16,12 @@ class DrivingTest : public ::testing::Test {
     static DrivingDomain d;  // built once; scenario models are immutable
     return d;
   }
+  // Separate instance for the cache tests so toggling/clearing never
+  // interferes with the shared read-only fixture above.
+  static DrivingDomain& cache_domain() {
+    static DrivingDomain d;
+    return d;
+  }
 };
 
 // ------------------------------------------------------------ scenarios ---
@@ -186,6 +192,76 @@ TEST_F(DrivingTest, ScoreRanksAlignedAboveUnaligned) {
     if (fb.aligned) worst_aligned = std::min(worst_aligned, fb.score());
   }
   EXPECT_GT(worst_aligned, -1);
+}
+
+// ------------------------------------------------------ feedback cache ---
+
+TEST_F(DrivingTest, CanonicalTextMatchesStepSplitterProjection) {
+  EXPECT_EQ(canonical_response_text("1. Stop.\n2. Go straight."),
+            "1. Stop.\n2. Go straight.");
+  // CRLF endings, trailing spaces, and blank lines all canonicalize away —
+  // exactly what glm2fsa's step splitter ignores.
+  EXPECT_EQ(canonical_response_text("  1. Stop.  \r\n\r\n2. Go straight.\r\n"),
+            "1. Stop.\n2. Go straight.");
+  EXPECT_EQ(canonical_response_text("\n\n  \n"), "");
+}
+
+TEST_F(DrivingTest, FeedbackCacheHitReplaysIdenticalResult) {
+  auto& d = cache_domain();
+  d.clear_feedback_cache();
+  const auto& task = d.task_by_id("turn_right_traffic_light");
+  const auto first = formal_feedback(d, task.scenario, task.variants[1].text);
+  const auto second = formal_feedback(d, task.scenario, task.variants[1].text);
+  EXPECT_EQ(first.aligned, second.aligned);
+  EXPECT_EQ(first.score(), second.score());
+  EXPECT_EQ(first.report.satisfied(), second.report.satisfied());
+  EXPECT_EQ(first.report.violated(), second.report.violated());
+  EXPECT_EQ(first.controller.state_count(), second.controller.state_count());
+  const auto stats = d.feedback_cache_stats();
+  EXPECT_EQ(stats.misses, 1u);
+  EXPECT_EQ(stats.hits, 1u);
+  EXPECT_EQ(stats.inserts, 1u);
+}
+
+TEST_F(DrivingTest, WhitespaceVariantsShareOneCacheEntry) {
+  auto& d = cache_domain();
+  d.clear_feedback_cache();
+  const auto& task = d.task_by_id("turn_right_traffic_light");
+  const std::string text = task.variants[0].text;
+  std::string noisy;
+  for (char c : text) noisy += (c == '\n') ? std::string("  \r\n\r\n")
+                                           : std::string(1, c);
+  noisy += "\n\n";
+  const auto clean_fb = formal_feedback(d, task.scenario, text);
+  const auto noisy_fb = formal_feedback(d, task.scenario, noisy);
+  EXPECT_EQ(clean_fb.score(), noisy_fb.score());
+  const auto stats = d.feedback_cache_stats();
+  EXPECT_EQ(stats.misses, 1u);
+  EXPECT_EQ(stats.hits, 1u) << "noisy text must hit the clean text's entry";
+}
+
+TEST_F(DrivingTest, SameTextDifferentScenarioIsADistinctEntry) {
+  auto& d = cache_domain();
+  d.clear_feedback_cache();
+  const auto& task = d.task_by_id("turn_right_traffic_light");
+  (void)formal_feedback(d, ScenarioId::TrafficLight, task.variants[0].text);
+  (void)formal_feedback(d, ScenarioId::WideMedian, task.variants[0].text);
+  const auto stats = d.feedback_cache_stats();
+  EXPECT_EQ(stats.misses, 2u);
+  EXPECT_EQ(stats.hits, 0u);
+}
+
+TEST_F(DrivingTest, DisabledFeedbackCacheBypassesCounters) {
+  auto& d = cache_domain();
+  d.clear_feedback_cache();
+  d.set_feedback_cache(false);
+  const auto& task = d.task_by_id("turn_right_traffic_light");
+  const auto a = formal_feedback(d, task.scenario, task.variants[0].text);
+  const auto b = formal_feedback(d, task.scenario, task.variants[0].text);
+  d.set_feedback_cache(true);
+  EXPECT_EQ(a.score(), b.score());
+  const auto stats = d.feedback_cache_stats();
+  EXPECT_EQ(stats.hits + stats.misses + stats.inserts, 0u);
 }
 
 // ------------------------------------------- paper's worked examples ---

@@ -187,7 +187,7 @@ TEST_F(DecoderTest, GreedyGenerationUsesCachePathConsistently) {
     seq.push_back(best);
     slow.push_back(best);
   }
-  EXPECT_EQ(fast, slow);
+  EXPECT_EQ(fast.ids, slow);
 }
 
 }  // namespace

@@ -146,10 +146,11 @@ TEST_F(LmTest, SampledResponsesDecodeToText) {
   sc.max_new_tokens = 16;
   const auto responses =
       sample_responses(model, tok(), tasks()[0].prompt, 3, sc, rng);
-  ASSERT_EQ(responses.size(), 3u);
+  ASSERT_EQ(responses.texts.size(), 3u);
+  ASSERT_EQ(responses.truncated.size(), 3u);
   // Responses decode into plain text (may be low quality at 1 epoch —
   // that's fine; the feedback channel scores them).
-  for (const auto& r : responses) EXPECT_LT(r.size(), 400u);
+  for (const auto& r : responses.texts) EXPECT_LT(r.size(), 400u);
 }
 
 TEST_F(LmTest, GreedyResponseIsDeterministic) {

@@ -72,6 +72,64 @@ TEST_F(CheckerTest, BuchiAcceptanceOnSimpleWords) {
   EXPECT_TRUE(check(k_green, f).holds);
 }
 
+// ------------------------------------------------------- Büchi cache ---
+
+TEST_F(CheckerTest, CachedTranslationSharesOneAutomatonPerFormula) {
+  clear_buchi_cache();
+  const Ltl f = parse("G (green_traffic_light -> F stop)");
+  const auto first = ltl_to_buchi_cached(f);
+  const auto second = ltl_to_buchi_cached(f);
+  EXPECT_EQ(first.get(), second.get()) << "repeat query must not retranslate";
+  // Hash-consing makes an independently parsed structurally-equal formula
+  // the same node, so it hits the same entry.
+  const auto third =
+      ltl_to_buchi_cached(parse("G (green_traffic_light -> F stop)"));
+  EXPECT_EQ(first.get(), third.get());
+  const auto stats = buchi_cache_stats();
+  EXPECT_EQ(stats.misses, 1u);
+  EXPECT_EQ(stats.hits, 2u);
+  // The cached automaton is the one a fresh translation would build.
+  BuchiStats fresh_stats;
+  const auto fresh = ltl_to_buchi(f, fresh_stats);
+  EXPECT_EQ(first->state_count(), fresh.state_count());
+  EXPECT_EQ(first->initial, fresh.initial);
+}
+
+TEST_F(CheckerTest, DisabledBuchiCacheBypassesEntirely) {
+  clear_buchi_cache();
+  set_buchi_cache_enabled(false);
+  const auto a = ltl_to_buchi_cached(parse("F stop"));
+  const auto b = ltl_to_buchi_cached(parse("F stop"));
+  set_buchi_cache_enabled(true);
+  EXPECT_TRUE(buchi_cache_enabled());
+  EXPECT_NE(a.get(), b.get());
+  const auto stats = buchi_cache_stats();
+  EXPECT_EQ(stats.hits + stats.misses + stats.inserts, 0u);
+}
+
+TEST_F(CheckerTest, CheckVerdictsIdenticalWithCacheOnAndOff) {
+  auto k = make_kripke({A_, 0}, {{1}, {1}}, {0});
+  const std::vector<const char*> formulas{
+      "G green_traffic_light", "F stop", "X !green_traffic_light",
+      "stop U green_traffic_light", "G F green_traffic_light"};
+  for (const char* s : formulas) {
+    clear_buchi_cache();
+    const auto on1 = check(k, parse(s));
+    const auto on2 = check(k, parse(s));  // second query replays the cache
+    set_buchi_cache_enabled(false);
+    const auto off = check(k, parse(s));
+    set_buchi_cache_enabled(true);
+    EXPECT_EQ(on1.holds, off.holds) << s;
+    EXPECT_EQ(on2.holds, off.holds) << s;
+    EXPECT_EQ(on1.buchi_states, off.buchi_states) << s;
+    EXPECT_EQ(on1.counterexample.prefix, off.counterexample.prefix) << s;
+    EXPECT_EQ(on1.counterexample.cycle, off.counterexample.cycle) << s;
+    EXPECT_EQ(on2.counterexample.prefix, on1.counterexample.prefix) << s;
+    EXPECT_EQ(on2.counterexample.cycle, on1.counterexample.cycle) << s;
+  }
+  EXPECT_GT(buchi_cache_stats().hits, 0u);
+}
+
 // ------------------------------------------------------------ checker ---
 
 TEST_F(CheckerTest, AlwaysHoldsOnInvariantGraph) {

@@ -320,16 +320,16 @@ TEST(Gpt, GenerateStopsAtEosAndRespectsMaxNew) {
   TinyGpt model(tiny_config(), rng);
   Rng sampler(42);
   const auto out = model.generate({1, 2}, 5, 1.0f, 0, /*eos=*/0, sampler);
-  EXPECT_LE(out.size(), 5u);
-  for (int id : out) EXPECT_NE(id, 0);  // eos never included
+  EXPECT_LE(out.ids.size(), 5u);
+  for (int id : out.ids) EXPECT_NE(id, 0);  // eos never included
 }
 
 TEST(Gpt, GenerateIsDeterministicGivenSeed) {
   Rng rng(16);
   TinyGpt model(tiny_config(), rng);
   Rng s1(7), s2(7);
-  EXPECT_EQ(model.generate({1}, 8, 0.8f, 5, 0, s1),
-            model.generate({1}, 8, 0.8f, 5, 0, s2));
+  EXPECT_EQ(model.generate({1}, 8, 0.8f, 5, 0, s1).ids,
+            model.generate({1}, 8, 0.8f, 5, 0, s2).ids);
 }
 
 TEST(Gpt, GreedyPicksArgmaxAfterOverfitting) {
@@ -347,10 +347,56 @@ TEST(Gpt, GreedyPicksArgmaxAfterOverfitting) {
     opt.step();
   }
   const auto out = model.generate_greedy({2, 4}, 3, 0);
-  ASSERT_EQ(out.size(), 3u);
-  EXPECT_EQ(out[0], 6);
-  EXPECT_EQ(out[1], 8);
-  EXPECT_EQ(out[2], 2);
+  ASSERT_EQ(out.ids.size(), 3u);
+  EXPECT_EQ(out.ids[0], 6);
+  EXPECT_EQ(out.ids[1], 8);
+  EXPECT_EQ(out.ids[2], 2);
+}
+
+TEST(Gpt, GenerateSetsTruncatedWhenContextExhausted) {
+  Rng rng(18);
+  TinyGpt model(tiny_config(), rng);  // max_seq = 16
+  Rng sampler(1);
+  // eos=-1 matches no token, so only the context limit can stop decoding.
+  const auto out = model.generate({1, 2}, 32, 1.0f, 0, /*eos=*/-1, sampler);
+  EXPECT_TRUE(out.truncated);
+  EXPECT_EQ(out.ids.size(), 14u);  // max_seq − prompt length
+  Rng sampler2(1);
+  const auto within = model.generate({1, 2}, 4, 1.0f, 0, -1, sampler2);
+  EXPECT_FALSE(within.truncated);
+  EXPECT_EQ(within.ids.size(), 4u);
+}
+
+TEST(Gpt, GreedySetsTruncatedAndOverlongPromptThrows) {
+  Rng rng(19);
+  TinyGpt model(tiny_config(), rng);
+  const auto out = model.generate_greedy({1, 2, 3}, 64, /*eos=*/-1);
+  EXPECT_TRUE(out.truncated);
+  EXPECT_EQ(out.ids.size(), 13u);
+  const auto ok = model.generate_greedy({1, 2, 3}, 5, -1);
+  EXPECT_FALSE(ok.truncated);
+  // A prompt that alone exceeds max_seq is a contract violation, not a
+  // silently truncated generation.
+  EXPECT_THROW((void)model.generate_greedy(std::vector<int>(17, 1), 1, 0),
+               ContractViolation);
+  Rng s(3);
+  EXPECT_THROW(
+      (void)model.generate(std::vector<int>(17, 1), 1, 1.0f, 0, 0, s),
+      ContractViolation);
+}
+
+TEST(Gpt, TopKTieBreaksByAscendingTokenId) {
+  Rng rng(20);
+  TinyGpt model(tiny_config(), rng);
+  // Zero every parameter: all logits become exactly equal, so the top-k
+  // candidate set is decided purely by the tie-break rule. Breaking ties
+  // by ascending token id makes the set {0, 1, 2, 3}.
+  model.load_state(std::vector<float>(model.state().size(), 0.0f));
+  Rng sampler(5);
+  const auto out =
+      model.generate({1}, 12, 1.0f, /*top_k=*/4, /*eos=*/-1, sampler);
+  ASSERT_FALSE(out.ids.empty());
+  for (int id : out.ids) EXPECT_LT(id, 4);
 }
 
 // ---------------------------------------------------------------- AdamW ---

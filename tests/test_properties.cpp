@@ -8,11 +8,14 @@
 #include <vector>
 
 #include "automata/product.hpp"
+#include "core/pipeline.hpp"
 #include "driving/domain.hpp"
 #include "logic/lasso_eval.hpp"
 #include "logic/ltlf.hpp"
+#include "modelcheck/buchi.hpp"
 #include "sim/simulator.hpp"
 #include "util/rng.hpp"
+#include "util/threadpool.hpp"
 
 namespace dpoaf {
 namespace {
@@ -224,6 +227,100 @@ TEST_P(PropertySweep, NoiselessRolloutsAreModelPathsInEveryScenario) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Sweep, PropertySweep, ::testing::Range(0, 40));
+
+// ------------------------------- feedback memoization transparency ------
+//
+// The caches memoize pure functions (DESIGN.md "Feedback memoization"):
+// turning them on or off must not change a single bit of any pipeline
+// metric, at any thread count. This is the contract that makes the
+// memoized scoring hot path safe to ship enabled by default.
+
+core::RunResult run_micro_pipeline(int threads, bool caches_on) {
+  modelcheck::clear_buchi_cache();
+  modelcheck::set_buchi_cache_enabled(caches_on);
+  core::PipelineConfig cfg;
+  cfg.seed = 23;
+  cfg.threads = threads;
+  cfg.feedback_cache = caches_on;
+  cfg.d_model = 16;
+  cfg.n_heads = 2;
+  cfg.n_layers = 1;
+  cfg.d_ff = 32;
+  cfg.corpus_samples_per_task = 6;
+  cfg.pretrain.epochs = 1;
+  cfg.candidates_from_catalog = true;
+  cfg.dpo.epochs = 2;
+  cfg.dpo.checkpoint_every = 2;
+  cfg.dpo.pairs_per_epoch = 8;
+  cfg.dpo.lora_rank = 2;
+  cfg.eval_samples_per_task = 2;
+  cfg.eval_max_new_tokens = 24;
+  core::DpoAfPipeline pipe(cfg);
+  pipe.pretrain_model();
+  auto result = pipe.run_dpo(pipe.build_pairs(pipe.collect_candidates()));
+  modelcheck::set_buchi_cache_enabled(true);
+  util::set_global_threads(1);
+  return result;
+}
+
+void expect_identical_metrics(const core::RunResult& a,
+                              const core::RunResult& b) {
+  ASSERT_EQ(a.metrics.size(), b.metrics.size());
+  for (std::size_t i = 0; i < a.metrics.size(); ++i) {
+    EXPECT_EQ(a.metrics[i].loss, b.metrics[i].loss);
+    EXPECT_EQ(a.metrics[i].accuracy, b.metrics[i].accuracy);
+    EXPECT_EQ(a.metrics[i].margin, b.metrics[i].margin);
+  }
+  ASSERT_EQ(a.checkpoints.size(), b.checkpoints.size());
+  for (std::size_t i = 0; i < a.checkpoints.size(); ++i) {
+    const auto& s = a.checkpoints[i];
+    const auto& p = b.checkpoints[i];
+    EXPECT_EQ(s.epoch, p.epoch);
+    EXPECT_EQ(s.train_mean_satisfied, p.train_mean_satisfied);
+    EXPECT_EQ(s.val_mean_satisfied, p.val_mean_satisfied);
+    EXPECT_EQ(s.train_alignment_failure_rate, p.train_alignment_failure_rate);
+    EXPECT_EQ(s.val_alignment_failure_rate, p.val_alignment_failure_rate);
+    EXPECT_EQ(s.truncated_responses, p.truncated_responses);
+    ASSERT_EQ(s.per_task.size(), p.per_task.size());
+    for (std::size_t t = 0; t < s.per_task.size(); ++t) {
+      EXPECT_EQ(s.per_task[t].first, p.per_task[t].first);
+      EXPECT_EQ(s.per_task[t].second, p.per_task[t].second);
+    }
+    ASSERT_EQ(s.per_task_alignment_failure.size(),
+              p.per_task_alignment_failure.size());
+    for (std::size_t t = 0; t < s.per_task_alignment_failure.size(); ++t)
+      EXPECT_EQ(s.per_task_alignment_failure[t],
+                p.per_task_alignment_failure[t]);
+  }
+}
+
+TEST(FeedbackCacheProperty, CachedRunBitwiseEqualsUncachedAtOneThread) {
+  const auto cached = run_micro_pipeline(1, true);
+  const auto uncached = run_micro_pipeline(1, false);
+  expect_identical_metrics(cached, uncached);
+  // The cached run actually exercised the caches; the uncached run
+  // bypassed them entirely (no counter movement at all).
+  EXPECT_GT(cached.buchi_cache_stats.hits, 0u);
+  EXPECT_GT(cached.feedback_cache_stats.hits +
+                cached.feedback_cache_stats.misses,
+            0u);
+  EXPECT_EQ(uncached.feedback_cache_stats.hits, 0u);
+  EXPECT_EQ(uncached.feedback_cache_stats.misses, 0u);
+}
+
+TEST(FeedbackCacheProperty, CachedRunBitwiseEqualsUncachedAtFourThreads) {
+  const auto cached = run_micro_pipeline(4, true);
+  const auto uncached = run_micro_pipeline(4, false);
+  expect_identical_metrics(cached, uncached);
+}
+
+TEST(FeedbackCacheProperty, CachedRunsIdenticalAcrossThreadCounts) {
+  // Caches on, 1 vs 4 threads: memoization must not perturb the existing
+  // threading determinism contract (tests/test_threading.cpp).
+  const auto serial = run_micro_pipeline(1, true);
+  const auto parallel = run_micro_pipeline(4, true);
+  expect_identical_metrics(serial, parallel);
+}
 
 }  // namespace
 }  // namespace dpoaf
