@@ -5,6 +5,7 @@
 #include <benchmark/benchmark.h>
 
 #include "automata/product.hpp"
+#include "bench_metrics_main.hpp"
 #include "driving/domain.hpp"
 #include "modelcheck/buchi.hpp"
 
@@ -144,4 +145,6 @@ BENCHMARK(BM_ScoreRepeatedCandidates)->Arg(0)->Arg(1);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  return dpoaf_benchmark_main(argc, argv, "micro_modelcheck");
+}

@@ -3,6 +3,7 @@
 // and a full TinyGpt forward/backward step at the pipeline's default size.
 #include <benchmark/benchmark.h>
 
+#include "bench_metrics_main.hpp"
 #include "nn/gpt.hpp"
 #include "tensor/ops.hpp"
 #include "util/threadpool.hpp"
@@ -143,4 +144,6 @@ BENCHMARK(BM_GptForwardBackward);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  return dpoaf_benchmark_main(argc, argv, "micro_tensor");
+}

@@ -1,13 +1,18 @@
 #include "automata/controller.hpp"
 
+#include <cstdio>
+
 #include "util/check.hpp"
 
 namespace dpoaf::automata {
 
 CtrlStateId FsaController::add_state(std::string name) {
+  // Formatted into a char buffer: literal+string concatenation here trips
+  // GCC 12's -Wrestrict false positive at -O3 (GCC PR105651).
   if (name.empty()) {
-    name = "q";
-    name += std::to_string(names_.size());
+    char buf[24];
+    std::snprintf(buf, sizeof buf, "q%zu", names_.size());
+    name = buf;
   }
   names_.push_back(std::move(name));
   return static_cast<CtrlStateId>(names_.size() - 1);

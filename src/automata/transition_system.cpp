@@ -1,6 +1,7 @@
 #include "automata/transition_system.hpp"
 
 #include <algorithm>
+#include <cstdio>
 
 #include "util/check.hpp"
 
@@ -8,9 +9,13 @@ namespace dpoaf::automata {
 
 ModelStateId TransitionSystem::add_state(Symbol label, std::string name) {
   labels_.push_back(label);
+  // The default name is formatted into a char buffer: any literal+string
+  // concatenation here trips GCC 12's -Wrestrict false positive at -O3
+  // (GCC PR105651).
   if (name.empty()) {
-    name = "p";
-    name += std::to_string(labels_.size() - 1);
+    char buf[24];
+    std::snprintf(buf, sizeof buf, "p%zu", labels_.size() - 1);
+    name = buf;
   }
   names_.push_back(std::move(name));
   succ_.emplace_back();

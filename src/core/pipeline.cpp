@@ -3,6 +3,8 @@
 #include <algorithm>
 
 #include "modelcheck/buchi.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "util/check.hpp"
 #include "util/threadpool.hpp"
 
@@ -14,6 +16,9 @@ DpoAfPipeline::DpoAfPipeline(PipelineConfig config)
       rng_(config.seed) {
   util::set_global_threads(config_.threads);
   domain_.set_feedback_cache(config_.feedback_cache);
+  // Enable-only: never turn off observability some other component (a
+  // bench harness, the example binary) switched on for the process.
+  if (config_.observability) obs::set_enabled(true);
   nn::GptConfig gpt_cfg;
   gpt_cfg.vocab_size = static_cast<std::int64_t>(tokenizer_.vocab_size());
   gpt_cfg.d_model = config_.d_model;
@@ -35,6 +40,7 @@ DpoAfPipeline::DpoAfPipeline(PipelineConfig config)
 }
 
 lm::PretrainStats DpoAfPipeline::pretrain_model() {
+  obs::Span span("pretrain", obs::histogram("pipeline.pretrain_ns"));
   const auto corpus =
       lm::build_corpus(domain_.tasks(), tokenizer_,
                        config_.corpus_samples_per_task,
@@ -94,6 +100,9 @@ std::vector<TaskCandidates> DpoAfPipeline::collect_candidates() {
 
 std::vector<dpo::PreferencePair> DpoAfPipeline::build_pairs(
     const std::vector<TaskCandidates>& candidates) const {
+  // "ranking" is the fourth of the five pipeline phases in the RunReport.
+  obs::Span span("ranking", obs::histogram("pipeline.ranking_ns"));
+  static obs::Counter& pair_counter = obs::counter("pipeline.pairs_built");
   std::vector<dpo::PreferencePair> pairs;
   for (const auto& tc : candidates) {
     const auto& task = domain_.task_by_id(tc.task_id);
@@ -102,6 +111,7 @@ std::vector<dpo::PreferencePair> DpoAfPipeline::build_pairs(
         model_.config().max_seq);
     pairs.insert(pairs.end(), task_pairs.begin(), task_pairs.end());
   }
+  pair_counter.add(pairs.size());
   return pairs;
 }
 
@@ -111,6 +121,7 @@ CheckpointEval DpoAfPipeline::evaluate_model(const TinyGpt& model,
   // into every CheckpointEval consumer; fail loudly instead.
   DPOAF_CHECK_MSG(config_.eval_samples_per_task > 0,
                   "eval_samples_per_task must be > 0");
+  obs::Span span("eval", obs::histogram("pipeline.eval_ns"));
   CheckpointEval eval;
   eval.epoch = epoch;
   // Deterministic per (seed, epoch) so evaluation noise is shared across
@@ -191,14 +202,35 @@ RunResult DpoAfPipeline::run_dpo(
     const std::vector<dpo::PreferencePair>& pairs) {
   RunResult result;
   result.pair_count = pairs.size();
-  dpo::DpoTrainer trainer(model_.clone(), config_.dpo, rng_);
-  result.metrics = trainer.train(
-      pairs, [this, &result](int epoch, const TinyGpt& policy) {
-        result.checkpoints.push_back(evaluate_model(policy, epoch));
-      });
-  model_ = trainer.policy().clone();
+  {
+    // "dpo" is the fifth of the five pipeline phases in the RunReport.
+    obs::Span span("dpo", obs::histogram("pipeline.dpo_ns"));
+    dpo::DpoTrainer trainer(model_.clone(), config_.dpo, rng_);
+    result.metrics = trainer.train(
+        pairs, [this, &result](int epoch, const TinyGpt& policy) {
+          result.checkpoints.push_back(evaluate_model(policy, epoch));
+        });
+    model_ = trainer.policy().clone();
+  }
   result.feedback_cache_stats = domain_.feedback_cache_stats();
   result.buchi_cache_stats = modelcheck::buchi_cache_stats();
+  if (obs::enabled()) {
+    // Mirror the cache counters into gauges so a MetricsSnapshot alone
+    // (e.g. a bench's --metrics-json report) carries them too.
+    const auto publish = [](const char* prefix, const util::CacheStats& s) {
+      const auto as_i64 = [](std::uint64_t v) {
+        return static_cast<std::int64_t>(v);
+      };
+      const std::string p(prefix);
+      obs::gauge(p + ".hits").set(as_i64(s.hits));
+      obs::gauge(p + ".misses").set(as_i64(s.misses));
+      obs::gauge(p + ".inserts").set(as_i64(s.inserts));
+      obs::gauge(p + ".evictions").set(as_i64(s.evictions));
+    };
+    publish("feedback_cache", result.feedback_cache_stats);
+    publish("buchi_cache", result.buchi_cache_stats);
+    result.phases = obs::aggregate_phases(obs::trace_snapshot());
+  }
   return result;
 }
 

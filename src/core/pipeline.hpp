@@ -20,6 +20,7 @@
 #include "dpo/trainer.hpp"
 #include "driving/domain.hpp"
 #include "lm/pretrain.hpp"
+#include "obs/trace.hpp"
 
 namespace dpoaf::core {
 
@@ -73,6 +74,14 @@ struct PipelineConfig {
   /// property tests assert bitwise-identical runs either way); off means
   /// every response is re-parsed and re-verified from scratch.
   bool feedback_cache = true;
+
+  /// Turn on the process-wide observability layer (metric counters, trace
+  /// spans, RunResult::phases). Only ever *enables* — a pipeline built with
+  /// the default never switches globally-enabled observability off, so
+  /// benches that call obs::set_enabled(true) themselves keep recording.
+  /// Observability never feeds back into any computed number: the property
+  /// tests assert RunResult is bitwise-identical with it on or off.
+  bool observability = false;
 };
 
 /// Per-checkpoint formal-verification evaluation (Figure 9's y-axis).
@@ -109,6 +118,11 @@ struct RunResult {
   /// translation cache (the latter is cumulative across pipelines).
   util::CacheStats feedback_cache_stats;
   util::CacheStats buchi_cache_stats;
+  /// Per-phase wall-time aggregates over the trace recorded so far
+  /// (generation / synthesis / verification / ranking / dpo, plus internal
+  /// sub-spans). Empty unless observability was enabled. Wall times are
+  /// report-only — nothing downstream computes on them.
+  std::vector<obs::PhaseStat> phases;
 };
 
 class DpoAfPipeline {

@@ -4,6 +4,8 @@
 #include <numeric>
 
 #include "nn/optim.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "tensor/ops.hpp"
 #include "util/check.hpp"
 #include "util/threadpool.hpp"
@@ -36,16 +38,19 @@ std::vector<EpochMetrics> DpoTrainer::train(
   // the values are thread-count-invariant.
   std::vector<float> ref_w(pairs.size());
   std::vector<float> ref_l(pairs.size());
-  util::parallel_for(0, static_cast<std::int64_t>(pairs.size()), 1,
-                     [&](std::int64_t i0, std::int64_t i1) {
-    for (std::int64_t i = i0; i < i1; ++i) {
-      const auto u = static_cast<std::size_t>(i);
-      ref_w[u] = static_cast<float>(reference_.response_log_prob_value(
-          pairs[u].chosen, pairs[u].prompt_len));
-      ref_l[u] = static_cast<float>(reference_.response_log_prob_value(
-          pairs[u].rejected, pairs[u].prompt_len));
-    }
-  });
+  {
+    obs::Span span("dpo.ref_precompute");
+    util::parallel_for(0, static_cast<std::int64_t>(pairs.size()), 1,
+                       [&](std::int64_t i0, std::int64_t i1) {
+      for (std::int64_t i = i0; i < i1; ++i) {
+        const auto u = static_cast<std::size_t>(i);
+        ref_w[u] = static_cast<float>(reference_.response_log_prob_value(
+            pairs[u].chosen, pairs[u].prompt_len));
+        ref_l[u] = static_cast<float>(reference_.response_log_prob_value(
+            pairs[u].rejected, pairs[u].prompt_len));
+      }
+    });
+  }
 
   nn::AdamWConfig opt_cfg;
   opt_cfg.lr = config_.lr;
@@ -57,7 +62,12 @@ std::vector<EpochMetrics> DpoTrainer::train(
   std::vector<EpochMetrics> history;
   if (hook) hook(0, policy_);
 
+  static obs::Counter& step_counter = obs::counter("dpo.steps");
+  static obs::Counter& pair_counter = obs::counter("dpo.pairs_seen");
+  static obs::Counter& epoch_counter = obs::counter("dpo.epochs");
   for (int epoch = 1; epoch <= config_.epochs; ++epoch) {
+    obs::Span epoch_span("dpo.epoch", obs::histogram("dpo.epoch_ns"));
+    epoch_counter.add();
     rng_.shuffle(order);
     std::size_t epoch_pairs = order.size();
     if (config_.pairs_per_epoch > 0)
@@ -100,6 +110,11 @@ std::vector<EpochMetrics> DpoTrainer::train(
 
         metrics.accuracy += lp_w.item() > lp_l.item() ? 1.0 : 0.0;
         metrics.margin += static_cast<double>(z.item());
+        // Sampled-KL proxy: mean (policy − reference) log-probability over
+        // the pair's two responses (see EpochMetrics::kl).
+        metrics.kl +=
+            0.5 * ((static_cast<double>(lp_w.item()) - ref_w[order[i]]) +
+                   (static_cast<double>(lp_l.item()) - ref_l[order[i]]));
 
         Tensor scaled = ops::scale(&tape, loss, 1.0f / n_in_batch);
         batch_loss = first ? scaled : ops::add(&tape, batch_loss, scaled);
@@ -108,10 +123,13 @@ std::vector<EpochMetrics> DpoTrainer::train(
       opt.zero_grad();
       tape.backward(batch_loss);
       opt.step();
+      step_counter.add();
+      pair_counter.add(static_cast<std::uint64_t>(n_in_batch));
     }
     metrics.loss /= static_cast<double>(epoch_pairs);
     metrics.accuracy /= static_cast<double>(epoch_pairs);
     metrics.margin /= static_cast<double>(epoch_pairs);
+    metrics.kl /= static_cast<double>(epoch_pairs);
     history.push_back(metrics);
 
     if (hook && (epoch % config_.checkpoint_every == 0 ||

@@ -45,6 +45,12 @@ struct EpochMetrics {
   double loss = 0.0;
   double accuracy = 0.0;
   double margin = 0.0;
+  /// Mean policy-vs-reference log-probability shift over the epoch's pair
+  /// responses (chosen and rejected averaged) — the sampled-KL proxy that
+  /// tracks how far DPO has pulled the policy off the frozen reference.
+  /// 0 at initialization; grows as the preference margin is bought with
+  /// distribution shift. Deterministic like the other metrics.
+  double kl = 0.0;
 };
 
 /// Called with (epoch, policy) at epoch 0, every checkpoint_every epochs,

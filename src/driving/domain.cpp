@@ -1,6 +1,8 @@
 #include "driving/domain.hpp"
 
 #include "automata/product.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "util/check.hpp"
 #include "util/strings.hpp"
 
@@ -70,16 +72,26 @@ namespace {
 FeedbackResult compute_feedback(const DrivingDomain& domain,
                                 ScenarioId scenario,
                                 std::string_view response_text) {
+  // "synthesis" (GLM2FSA) and "verification" (product + 15-spec model
+  // checking) are two of the five pipeline phases in the RunReport.
+  static obs::Counter& computed = obs::counter("feedback.computed");
+  static obs::Counter& failures = obs::counter("feedback.alignment_failures");
+  computed.add();
   FeedbackResult result;
-  auto g2f = glm2fsa::glm2fsa(response_text, domain.aligner(),
-                              domain.build_options());
-  result.issues = g2f.parsed.issues;
-  if (!g2f.parsed.ok()) {
-    result.aligned = false;
-    return result;
+  {
+    obs::Span span("synthesis", obs::histogram("glm2fsa.synthesis_ns"));
+    auto g2f = glm2fsa::glm2fsa(response_text, domain.aligner(),
+                                domain.build_options());
+    result.issues = g2f.parsed.issues;
+    if (!g2f.parsed.ok()) {
+      failures.add();
+      result.aligned = false;
+      return result;
+    }
+    result.aligned = true;
+    result.controller = std::move(g2f.controller);
   }
-  result.aligned = true;
-  result.controller = std::move(g2f.controller);
+  obs::Span span("verification", obs::histogram("modelcheck.verify_ns"));
   const automata::Kripke product = automata::make_product(
       domain.model(scenario), result.controller, domain.product_options());
   result.report = modelcheck::verify_all(product, domain.specs(),
@@ -92,6 +104,8 @@ FeedbackResult compute_feedback(const DrivingDomain& domain,
 FeedbackResult formal_feedback(const DrivingDomain& domain,
                                ScenarioId scenario,
                                std::string_view response_text) {
+  static obs::Counter& requests = obs::counter("feedback.requests");
+  requests.add();
   if (!domain.feedback_cache_enabled())
     return compute_feedback(domain, scenario, response_text);
   std::string key = scenario_name(scenario);

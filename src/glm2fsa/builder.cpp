@@ -1,5 +1,7 @@
 #include "glm2fsa/builder.hpp"
 
+#include <cstdio>
+
 #include "util/check.hpp"
 
 namespace dpoaf::glm2fsa {
@@ -17,8 +19,11 @@ FsaController build_controller(const ParsedResponse& response,
   std::vector<CtrlStateId> states;
   states.reserve(n);
   for (std::size_t i = 0; i < n; ++i) {
-    states.push_back(
-        ctrl.add_state("q" + std::to_string(i + 1)));
+    // Formatted into a char buffer: literal+string concatenation trips
+    // GCC 12's -Wrestrict false positive at -O3 (GCC PR105651).
+    char buf[24];
+    std::snprintf(buf, sizeof buf, "q%zu", i + 1);
+    states.push_back(ctrl.add_state(buf));
   }
   ctrl.set_initial(states.front());
 

@@ -12,7 +12,13 @@ namespace {
 // Cues marking a negated condition phrase ("no car from left", "the light
 // is not green", "the traffic light is red", "clear of traffic").
 bool phrase_is_negated(std::string_view phrase) {
-  const std::string p = " " + to_lower(std::string(phrase)) + " ";
+  // Padding built by append only: the literal+string concatenation form
+  // trips GCC 12's -Wrestrict false positive at -O3 (GCC PR105651).
+  std::string p;
+  p.reserve(phrase.size() + 2);
+  p += ' ';
+  p += to_lower(std::string(phrase));
+  p += ' ';
   for (const char* cue :
        {" no ", " not ", "n't ", " without ", " absent ", " clear of ",
         " is off ", " red ", " turns red ", " is clear ", " to clear"}) {

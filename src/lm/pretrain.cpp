@@ -3,6 +3,8 @@
 #include <numeric>
 
 #include "nn/optim.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "util/check.hpp"
 
 namespace dpoaf::lm {
@@ -24,6 +26,7 @@ PretrainStats pretrain(TinyGpt& model,
   std::iota(order.begin(), order.end(), std::size_t{0});
 
   for (int epoch = 0; epoch < config.epochs; ++epoch) {
+    obs::ScopedTimer timer(obs::histogram("lm.pretrain.epoch_ns"));
     rng.shuffle(order);
     double epoch_loss = 0.0;
     std::size_t i = 0;
@@ -55,6 +58,12 @@ SampledResponses sample_responses(const TinyGpt& model, const Tokenizer& tok,
                                   const std::string& task_prompt, int m,
                                   const SamplerConfig& config, Rng& rng) {
   DPOAF_CHECK(m > 0);
+  // "generation" is one of the five pipeline phases in the RunReport; every
+  // sampled batch of m responses is one span (plus per-response counters).
+  obs::Span span("generation", obs::histogram("lm.sample_responses_ns"));
+  static obs::Counter& responses = obs::counter("lm.responses");
+  static obs::Counter& tokens = obs::counter("lm.generated_tokens");
+  static obs::Counter& truncations = obs::counter("lm.truncated_responses");
   const std::vector<int> prompt = encode_prompt(tok, task_prompt);
   SampledResponses out;
   out.texts.reserve(static_cast<std::size_t>(m));
@@ -63,6 +72,9 @@ SampledResponses sample_responses(const TinyGpt& model, const Tokenizer& tok,
     const auto gen =
         model.generate(prompt, config.max_new_tokens, config.temperature,
                        config.top_k, tok.eos(), rng);
+    responses.add();
+    tokens.add(gen.ids.size());
+    if (gen.truncated) truncations.add();
     out.texts.push_back(tok.decode(gen.ids));
     out.truncated.push_back(gen.truncated);
   }
@@ -72,8 +84,13 @@ SampledResponses sample_responses(const TinyGpt& model, const Tokenizer& tok,
 std::string greedy_response(const TinyGpt& model, const Tokenizer& tok,
                             const std::string& task_prompt,
                             int max_new_tokens, bool* truncated) {
+  obs::Span span("generation");
+  static obs::Counter& responses = obs::counter("lm.responses");
+  static obs::Counter& tokens = obs::counter("lm.generated_tokens");
   const std::vector<int> prompt = encode_prompt(tok, task_prompt);
   const auto gen = model.generate_greedy(prompt, max_new_tokens, tok.eos());
+  responses.add();
+  tokens.add(gen.ids.size());
   if (truncated != nullptr) *truncated = gen.truncated;
   return tok.decode(gen.ids);
 }

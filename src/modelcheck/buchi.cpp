@@ -6,6 +6,7 @@
 #include <set>
 #include <unordered_map>
 
+#include "obs/metrics.hpp"
 #include "util/check.hpp"
 
 namespace dpoaf::modelcheck {
@@ -202,6 +203,12 @@ BuchiAutomaton ltl_to_buchi(const Ltl& formula) {
 
 BuchiAutomaton ltl_to_buchi(const Ltl& formula, BuchiStats& stats) {
   DPOAF_CHECK(formula != nullptr);
+  // Counts tableau runs the Büchi cache did not absorb; timing feeds the
+  // report's histogram only (never any computed metric).
+  static obs::Counter& translations =
+      obs::counter("modelcheck.buchi.translations");
+  translations.add();
+  obs::ScopedTimer timer(obs::histogram("modelcheck.buchi.translate_ns"));
   Registry reg;
   const Ltl nnf = logic::to_nnf(formula);
   Expander expander(reg);

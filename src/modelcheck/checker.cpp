@@ -6,6 +6,7 @@
 #include <utility>
 
 #include "modelcheck/buchi.hpp"
+#include "obs/metrics.hpp"
 #include "util/check.hpp"
 
 namespace dpoaf::modelcheck {
@@ -182,6 +183,9 @@ std::vector<int> bfs_path(const Product& prod, const std::vector<int>& sources,
 
 CheckResult check(const Kripke& kripke, const Ltl& spec) {
   DPOAF_CHECK(spec != nullptr);
+  static obs::Counter& checks = obs::counter("modelcheck.checks");
+  checks.add();
+  obs::ScopedTimer timer(obs::histogram("modelcheck.check_ns"));
   CheckResult res;
 
   // ¬Φ is hash-consed, so repeated checks of the same spec share one

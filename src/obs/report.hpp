@@ -1,0 +1,60 @@
+// RunReport — the machine-readable artifact of one instrumented run:
+// a snapshot of the metrics registry, per-phase span rollups, named value
+// series (e.g. per-epoch DPO loss), and optionally the raw trace.
+//
+// Serialized as JSON with a stable schema ("dpoaf.run_report", version 1;
+// validated in CI by scripts/check_metrics_schema.py) and as a Chrome
+// trace ("traceEvents") loadable in chrome://tracing / ui.perfetto.dev.
+// from_json() parses exactly what to_json() emits, so reports round-trip —
+// the perf-smoke CI job and future PRs can diff runs structurally.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace dpoaf::obs {
+
+/// A named sequence of doubles, e.g. {"dpo.loss", one value per epoch}.
+struct Series {
+  std::string name;
+  std::vector<double> values;
+};
+
+struct RunReport {
+  int version = 1;
+  std::string tool;  // producing binary, e.g. "finetune_pipeline"
+  MetricsSnapshot metrics;
+  std::vector<PhaseStat> phases;
+  std::vector<Series> series;
+  std::vector<TraceEvent> trace;
+};
+
+/// Snapshot the process-wide registry and trace into a report. The trace
+/// is copied, not drained, so capturing is repeatable.
+[[nodiscard]] RunReport capture_run_report(std::string tool);
+
+/// Append a value series (kept in insertion order).
+void add_series(RunReport& report, std::string name,
+                std::vector<double> values);
+
+/// The stable-schema JSON document (single line, UTF-8, keys in fixed
+/// order). `include_trace` = false drops the "trace" array (reports stay
+/// small for CI artifacts; the chrome export carries the events instead).
+[[nodiscard]] std::string to_json(const RunReport& report,
+                                  bool include_trace = true);
+
+/// Chrome trace-event JSON ({"traceEvents": [...]}) of the report's trace.
+[[nodiscard]] std::string to_chrome_trace(const RunReport& report);
+
+/// Parse a to_json() document. Returns false (leaving `out` unspecified)
+/// on malformed JSON or a schema mismatch.
+bool from_json(std::string_view json, RunReport& out);
+
+/// Write `content` to `path` (truncating). Returns false on I/O failure.
+bool write_text_file(const std::string& path, std::string_view content);
+
+}  // namespace dpoaf::obs

@@ -1,0 +1,194 @@
+#include "obs/trace.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <map>
+#include <memory>
+#include <mutex>
+
+namespace dpoaf::obs {
+
+namespace {
+
+// Each per-thread event buffer caps out instead of growing unboundedly;
+// a long uninstrumented-drain run then loses tail events, not memory.
+constexpr std::size_t kMaxEventsPerThread = 1 << 18;
+
+struct ThreadBuffer {
+  std::mutex mutex;  // owner appends; drain/snapshot steal concurrently
+  std::vector<TraceEvent> events;
+  std::uint32_t tid = 0;
+};
+
+struct Collector {
+  std::mutex mutex;
+  std::vector<ThreadBuffer*> live;       // registered, thread still running
+  std::vector<TraceEvent> adopted;       // events of exited threads
+  std::uint32_t next_tid = 0;
+  std::size_t threads_ever = 0;
+  std::atomic<std::uint64_t> dropped{0};
+};
+
+Collector& collector() {
+  // Leaked intentionally: thread-exit hooks of detached/late threads may
+  // run after main() returns and must still find the collector alive.
+  static Collector* c = new Collector();
+  return *c;
+}
+
+// Registers with the collector on first armed span; the destructor hands
+// buffered events over so traces survive thread exit.
+struct ThreadBufferHolder {
+  std::unique_ptr<ThreadBuffer> buffer;
+
+  ThreadBuffer& get() {
+    if (!buffer) {
+      buffer = std::make_unique<ThreadBuffer>();
+      Collector& c = collector();
+      std::lock_guard<std::mutex> lock(c.mutex);
+      buffer->tid = c.next_tid++;
+      ++c.threads_ever;
+      c.live.push_back(buffer.get());
+    }
+    return *buffer;
+  }
+
+  ~ThreadBufferHolder() {
+    if (!buffer) return;
+    Collector& c = collector();
+    std::lock_guard<std::mutex> lock(c.mutex);
+    c.live.erase(std::remove(c.live.begin(), c.live.end(), buffer.get()),
+                 c.live.end());
+    std::lock_guard<std::mutex> buf_lock(buffer->mutex);
+    c.adopted.insert(c.adopted.end(),
+                     std::make_move_iterator(buffer->events.begin()),
+                     std::make_move_iterator(buffer->events.end()));
+  }
+};
+
+thread_local ThreadBufferHolder t_buffer;
+thread_local std::uint32_t t_depth = 0;
+
+void record_event(const char* name, std::uint64_t start_ns,
+                  std::uint64_t dur_ns, std::uint32_t depth) {
+  ThreadBuffer& buf = t_buffer.get();
+  std::lock_guard<std::mutex> lock(buf.mutex);
+  if (buf.events.size() >= kMaxEventsPerThread) {
+    collector().dropped.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  buf.events.push_back({name, buf.tid, depth, start_ns, dur_ns});
+}
+
+void sort_trace(std::vector<TraceEvent>& events) {
+  std::stable_sort(events.begin(), events.end(),
+                   [](const TraceEvent& a, const TraceEvent& b) {
+                     if (a.start_ns != b.start_ns)
+                       return a.start_ns < b.start_ns;
+                     if (a.tid != b.tid) return a.tid < b.tid;
+                     return a.depth < b.depth;  // parent before child
+                   });
+}
+
+}  // namespace
+
+Span::Span(const char* name) : name_(name) {
+  if (!obs::enabled()) return;
+  armed_ = true;
+  depth_ = t_depth++;
+  start_ns_ = monotonic_now_ns();
+}
+
+Span::Span(const char* name, Histogram& hist) : Span(name) {
+  if (armed_) hist_ = &hist;
+}
+
+Span::~Span() {
+  if (!armed_) return;
+  const std::uint64_t dur = monotonic_now_ns() - start_ns_;
+  --t_depth;
+  if (hist_ != nullptr) hist_->record(dur);
+  record_event(name_, start_ns_, dur, depth_);
+}
+
+std::vector<TraceEvent> drain_trace() {
+  Collector& c = collector();
+  std::vector<TraceEvent> out;
+  {
+    std::lock_guard<std::mutex> lock(c.mutex);
+    out = std::move(c.adopted);
+    c.adopted.clear();
+    for (ThreadBuffer* buf : c.live) {
+      std::lock_guard<std::mutex> buf_lock(buf->mutex);
+      out.insert(out.end(), std::make_move_iterator(buf->events.begin()),
+                 std::make_move_iterator(buf->events.end()));
+      buf->events.clear();
+    }
+  }
+  sort_trace(out);
+  return out;
+}
+
+std::vector<TraceEvent> trace_snapshot() {
+  Collector& c = collector();
+  std::vector<TraceEvent> out;
+  {
+    std::lock_guard<std::mutex> lock(c.mutex);
+    out = c.adopted;
+    for (ThreadBuffer* buf : c.live) {
+      std::lock_guard<std::mutex> buf_lock(buf->mutex);
+      out.insert(out.end(), buf->events.begin(), buf->events.end());
+    }
+  }
+  sort_trace(out);
+  return out;
+}
+
+void clear_trace() {
+  Collector& c = collector();
+  std::lock_guard<std::mutex> lock(c.mutex);
+  c.adopted.clear();
+  for (ThreadBuffer* buf : c.live) {
+    std::lock_guard<std::mutex> buf_lock(buf->mutex);
+    buf->events.clear();
+  }
+  c.dropped.store(0, std::memory_order_relaxed);
+}
+
+std::size_t trace_event_count() {
+  Collector& c = collector();
+  std::lock_guard<std::mutex> lock(c.mutex);
+  std::size_t n = c.adopted.size();
+  for (ThreadBuffer* buf : c.live) {
+    std::lock_guard<std::mutex> buf_lock(buf->mutex);
+    n += buf->events.size();
+  }
+  return n;
+}
+
+std::uint64_t dropped_trace_events() {
+  return collector().dropped.load(std::memory_order_relaxed);
+}
+
+std::size_t registered_trace_threads() {
+  Collector& c = collector();
+  std::lock_guard<std::mutex> lock(c.mutex);
+  return c.threads_ever;
+}
+
+std::vector<PhaseStat> aggregate_phases(
+    const std::vector<TraceEvent>& events) {
+  std::map<std::string, PhaseStat> by_name;
+  for (const TraceEvent& e : events) {
+    PhaseStat& stat = by_name[e.name];
+    if (stat.spans == 0) stat.name = e.name;
+    ++stat.spans;
+    stat.total_ns += e.dur_ns;
+  }
+  std::vector<PhaseStat> out;
+  out.reserve(by_name.size());
+  for (auto& [name, stat] : by_name) out.push_back(std::move(stat));
+  return out;
+}
+
+}  // namespace dpoaf::obs

@@ -1,0 +1,92 @@
+// RAII trace spans recording into per-thread buffers, drained into a single
+// time-ordered trace for the RunReport / chrome://tracing exporters.
+//
+// A Span is armed only while observability is enabled (obs::set_enabled):
+// a disarmed Span reads no clock, touches no buffer, and allocates nothing.
+// Armed spans capture a monotonic start timestamp and, on destruction,
+// append one TraceEvent (name, thread id, start, duration, nesting depth)
+// to the calling thread's buffer. Buffers are registered with a global
+// collector on first use; drain_trace()/trace_snapshot() merge every
+// thread's events — including those of threads that have already exited —
+// and sort them by start time. Per-thread buffers are capped; events past
+// the cap are counted in dropped_trace_events() instead of growing memory
+// without bound.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.hpp"
+
+namespace dpoaf::obs {
+
+struct TraceEvent {
+  std::string name;
+  std::uint32_t tid = 0;    // small sequential per-thread id, not the OS tid
+  std::uint32_t depth = 0;  // span nesting depth within its thread (0 = root)
+  std::uint64_t start_ns = 0;  // monotonic_now_ns() timebase
+  std::uint64_t dur_ns = 0;
+};
+
+class Span {
+ public:
+  /// `name` should be a string literal or otherwise outlive the span.
+  explicit Span(const char* name);
+  /// Also records the span's duration into `hist` (even though the trace
+  /// buffer keeps the event itself), for aggregate latency metrics.
+  Span(const char* name, Histogram& hist);
+  ~Span();
+
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+  /// True when this span is recording (observability was on at entry).
+  [[nodiscard]] bool armed() const { return armed_; }
+
+ private:
+  const char* name_;
+  Histogram* hist_ = nullptr;
+  std::uint64_t start_ns_ = 0;
+  std::uint32_t depth_ = 0;
+  bool armed_ = false;
+};
+
+/// Move every recorded event out of all thread buffers, sorted by
+/// (start_ns, tid). Subsequent calls only see events recorded afterwards.
+[[nodiscard]] std::vector<TraceEvent> drain_trace();
+
+/// Copy of the events recorded so far (same order), leaving them in place.
+[[nodiscard]] std::vector<TraceEvent> trace_snapshot();
+
+/// Drop all recorded events and reset the dropped-event counter.
+void clear_trace();
+
+/// Events recorded and currently buffered (cheap; takes the buffer locks).
+[[nodiscard]] std::size_t trace_event_count();
+
+/// Events discarded because a thread buffer hit its cap.
+[[nodiscard]] std::uint64_t dropped_trace_events();
+
+/// Number of threads that ever armed a span (still-live buffers plus
+/// adopted buffers of exited threads). A thread that only constructs
+/// disarmed spans never registers — the disabled-mode zero-footprint test
+/// leans on this.
+[[nodiscard]] std::size_t registered_trace_threads();
+
+/// Aggregate of every span with the same name: the per-phase rollup
+/// surfaced in RunReport and core::RunResult.
+struct PhaseStat {
+  std::string name;
+  std::uint64_t spans = 0;
+  std::uint64_t total_ns = 0;  // summed inclusive durations, all threads
+};
+
+/// Group events by name, sorted by name. Nested or concurrent spans each
+/// contribute their full inclusive duration, so totals can exceed
+/// wall-clock; within one phase name at one nesting site they are the
+/// phase's summed wall time.
+[[nodiscard]] std::vector<PhaseStat> aggregate_phases(
+    const std::vector<TraceEvent>& events);
+
+}  // namespace dpoaf::obs

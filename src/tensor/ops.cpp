@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdio>
 #include <string>
 
+#include "obs/metrics.hpp"
 #include "util/threadpool.hpp"
 
 namespace dpoaf::tensor::ops {
@@ -18,7 +20,13 @@ bool track(const Tape* tape, std::initializer_list<const Tensor*> inputs) {
 }
 
 std::string shape_str(const Shape& s) {
-  return "[" + std::to_string(s.rows) + "x" + std::to_string(s.cols) + "]";
+  // Formatted into a char buffer: literal+string concatenation trips
+  // GCC 12's -Wrestrict false positive at -O3 (GCC PR105651).
+  char buf[56];
+  std::snprintf(buf, sizeof buf, "[%lldx%lld]",
+                static_cast<long long>(s.rows),
+                static_cast<long long>(s.cols));
+  return buf;
 }
 
 std::string shapes_msg(const char* op, const Shape& a, const Shape& b) {
@@ -41,6 +49,12 @@ Tensor matmul(Tape* tape, const Tensor& a, const Tensor& b) {
                   shapes_msg("matmul: inner dimensions differ", a.shape(),
                              b.shape()));
   const std::int64_t m = a.rows(), k = a.cols(), n = b.cols();
+  // Throughput telemetry (counts only; obs::counter is a no-op when
+  // observability is off): calls and multiply-add flops of the forward.
+  static obs::Counter& fwd_calls = obs::counter("tensor.matmul.calls");
+  static obs::Counter& fwd_flops = obs::counter("tensor.matmul.flops");
+  fwd_calls.add();
+  fwd_flops.add(static_cast<std::uint64_t>(2 * m * k * n));
   Tensor c = Tensor::zeros({m, n});
   {
     const float* pa = a.data();
@@ -65,6 +79,12 @@ Tensor matmul(Tape* tape, const Tensor& a, const Tensor& b) {
     Tensor at = a, bt = b, ct = c;
     tape->record([at, bt, ct]() mutable {
       const std::int64_t m = at.rows(), k = at.cols(), n = bt.cols();
+      static obs::Counter& bwd_calls = obs::counter("tensor.matmul.bwd_calls");
+      static obs::Counter& bwd_flops = obs::counter("tensor.matmul.bwd_flops");
+      bwd_calls.add();
+      bwd_flops.add(static_cast<std::uint64_t>(
+          2 * m * k * n * ((at.requires_grad() ? 1 : 0) +
+                           (bt.requires_grad() ? 1 : 0))));
       const float* gc = ct.grad();
       if (at.requires_grad()) {
         float* ga = at.grad();

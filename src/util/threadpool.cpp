@@ -4,6 +4,7 @@
 #include <cstdlib>
 #include <memory>
 
+#include "obs/metrics.hpp"
 #include "util/check.hpp"
 
 namespace dpoaf::util {
@@ -60,12 +61,23 @@ void ThreadPool::parallel_for(
     std::int64_t begin, std::int64_t end, std::int64_t grain,
     const std::function<void(std::int64_t, std::int64_t)>& fn) {
   if (begin >= end) return;
+  // Scheduling telemetry only — counts and queue depth, never timing that
+  // could feed back into the computation (see DESIGN.md "Observability").
+  static obs::Counter& calls = obs::counter("threadpool.parallel_for.calls");
+  static obs::Counter& inline_calls =
+      obs::counter("threadpool.parallel_for.inline");
+  static obs::Counter& jobs = obs::counter("threadpool.jobs");
+  static obs::Gauge& depth_max = obs::gauge("threadpool.queue_depth.max");
+  static obs::Gauge& pool_threads = obs::gauge("threadpool.threads");
+  calls.add();
+  pool_threads.set(threads_);
   const std::int64_t n = end - begin;
   if (grain < 1) grain = 1;
   std::int64_t chunks = (n + grain - 1) / grain;
   if (chunks > threads_) chunks = threads_;
   if (chunks <= 1 || t_in_parallel_region || workers_.empty()) {
     // Serial (or nested) path: one chunk, the loop body unchanged.
+    inline_calls.add();
     fn(begin, end);
     return;
   }
@@ -94,6 +106,8 @@ void ThreadPool::parallel_for(
         }
       });
     }
+    jobs.add(static_cast<std::uint64_t>(chunks - 1));
+    depth_max.record_max(static_cast<std::int64_t>(queue_.size()));
   }
   work_available_.notify_all();
 

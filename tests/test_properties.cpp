@@ -13,6 +13,8 @@
 #include "logic/lasso_eval.hpp"
 #include "logic/ltlf.hpp"
 #include "modelcheck/buchi.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "sim/simulator.hpp"
 #include "util/rng.hpp"
 #include "util/threadpool.hpp"
@@ -235,13 +237,15 @@ INSTANTIATE_TEST_SUITE_P(Sweep, PropertySweep, ::testing::Range(0, 40));
 // metric, at any thread count. This is the contract that makes the
 // memoized scoring hot path safe to ship enabled by default.
 
-core::RunResult run_micro_pipeline(int threads, bool caches_on) {
+core::RunResult run_micro_pipeline(int threads, bool caches_on,
+                                   bool observability = false) {
   modelcheck::clear_buchi_cache();
   modelcheck::set_buchi_cache_enabled(caches_on);
   core::PipelineConfig cfg;
   cfg.seed = 23;
   cfg.threads = threads;
   cfg.feedback_cache = caches_on;
+  cfg.observability = observability;
   cfg.d_model = 16;
   cfg.n_heads = 2;
   cfg.n_layers = 1;
@@ -270,6 +274,7 @@ void expect_identical_metrics(const core::RunResult& a,
     EXPECT_EQ(a.metrics[i].loss, b.metrics[i].loss);
     EXPECT_EQ(a.metrics[i].accuracy, b.metrics[i].accuracy);
     EXPECT_EQ(a.metrics[i].margin, b.metrics[i].margin);
+    EXPECT_EQ(a.metrics[i].kl, b.metrics[i].kl);
   }
   ASSERT_EQ(a.checkpoints.size(), b.checkpoints.size());
   for (std::size_t i = 0; i < a.checkpoints.size(); ++i) {
@@ -320,6 +325,35 @@ TEST(FeedbackCacheProperty, CachedRunsIdenticalAcrossThreadCounts) {
   const auto serial = run_micro_pipeline(1, true);
   const auto parallel = run_micro_pipeline(4, true);
   expect_identical_metrics(serial, parallel);
+}
+
+// ------------------------------- observability transparency ------------
+//
+// Observability records wall-clock only into histograms/trace (report-only)
+// and counts logical events; turning it on must not change a single bit of
+// any pipeline metric — the contract that lets instrumentation ship in the
+// hot paths (DESIGN.md "Observability").
+
+TEST(ObservabilityProperty, InstrumentedRunBitwiseEqualsUninstrumented) {
+  obs::set_enabled(false);
+  obs::clear_trace();
+  const auto plain = run_micro_pipeline(1, true, /*observability=*/false);
+  EXPECT_TRUE(plain.phases.empty());  // nothing recorded while disabled
+  const auto traced = run_micro_pipeline(1, true, /*observability=*/true);
+  EXPECT_FALSE(traced.phases.empty());  // spans actually fired
+  expect_identical_metrics(plain, traced);
+  obs::set_enabled(false);
+  obs::clear_trace();
+}
+
+TEST(ObservabilityProperty, InstrumentedRunIdenticalAtFourThreads) {
+  obs::set_enabled(false);
+  obs::clear_trace();
+  const auto plain = run_micro_pipeline(4, true, /*observability=*/false);
+  const auto traced = run_micro_pipeline(4, true, /*observability=*/true);
+  expect_identical_metrics(plain, traced);
+  obs::set_enabled(false);
+  obs::clear_trace();
 }
 
 }  // namespace
