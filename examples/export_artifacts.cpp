@@ -4,16 +4,36 @@
 // for the right-turn product (Appendix D) that NuSMV 2.6 can re-check.
 //
 // Usage: export_artifacts [output_dir]   (default: ./artifacts)
+//        export_artifacts --inspect-checkpoint PATH
+//
+// The second form prints a human-readable summary of a .dpoaf training
+// checkpoint (section table with sizes and CRCs, stage, epoch, model
+// shape, dataset counts) without loading any model — the operator's view
+// into docs/CHECKPOINT_FORMAT.md.
 #include <filesystem>
 #include <fstream>
 #include <iostream>
 
 #include "automata/dot_export.hpp"
+#include "ckpt/checkpoint.hpp"
 #include "driving/domain.hpp"
 #include "modelcheck/smv_export.hpp"
 
 int main(int argc, char** argv) {
   using namespace dpoaf;
+  if (argc > 1 && std::string(argv[1]) == "--inspect-checkpoint") {
+    if (argc < 3) {
+      std::cerr << "usage: export_artifacts --inspect-checkpoint PATH\n";
+      return 1;
+    }
+    try {
+      std::cout << ckpt::describe_file(argv[2]);
+    } catch (const ckpt::CheckpointError& e) {
+      std::cerr << "error: " << e.what() << "\n";
+      return 1;
+    }
+    return 0;
+  }
   const std::filesystem::path out_dir =
       argc > 1 ? argv[1] : "artifacts";
   std::filesystem::create_directories(out_dir);

@@ -5,11 +5,19 @@
 //
 // Usage: finetune_pipeline [--epochs N] [--seed N]
 //                          [--metrics-json PATH] [--trace-json PATH]
+//                          [--checkpoint-dir DIR] [--checkpoint-every N]
+//                          [--resume [PATH]]
 // (defaults are sized to finish in about a minute on a laptop core)
 //
 // --metrics-json writes a dpoaf.run_report JSON document (metric counters,
 // per-phase wall times, per-epoch loss/KL series); --trace-json writes a
 // Chrome trace-event file loadable in chrome://tracing / ui.perfetto.dev.
+//
+// --checkpoint-dir enables durable snapshots (atomic .dpoaf files, see
+// docs/CHECKPOINT_FORMAT.md) every --checkpoint-every epochs. --resume
+// continues an interrupted run from the newest snapshot in the checkpoint
+// directory (or from an explicit .dpoaf path) and produces results
+// bitwise-identical to the uninterrupted run.
 #include <cstdlib>
 #include <iostream>
 #include <string>
@@ -28,6 +36,7 @@ int main(int argc, char** argv) {
   cfg.dpo.pairs_per_epoch = 48;
   std::string metrics_path;
   std::string trace_path;
+  bool resume = false;
   for (int i = 1; i + 1 < argc + 1; ++i) {
     const std::string arg = argv[i] ? argv[i] : "";
     if (arg == "--epochs" && i + 1 < argc)
@@ -36,38 +45,67 @@ int main(int argc, char** argv) {
       cfg.seed = static_cast<std::uint64_t>(std::atoll(argv[i + 1]));
     if (arg == "--metrics-json" && i + 1 < argc) metrics_path = argv[i + 1];
     if (arg == "--trace-json" && i + 1 < argc) trace_path = argv[i + 1];
+    if (arg == "--checkpoint-dir" && i + 1 < argc)
+      cfg.checkpoint_dir = argv[i + 1];
+    if (arg == "--checkpoint-every" && i + 1 < argc)
+      cfg.checkpoint_every_epochs = std::atoi(argv[i + 1]);
+    if (arg == "--resume") {
+      resume = true;
+      // Optional explicit snapshot path; defaults to --checkpoint-dir.
+      if (i + 1 < argc && argv[i + 1][0] != '-') cfg.resume_from = argv[i + 1];
+    }
   }
   cfg.observability = !metrics_path.empty() || !trace_path.empty();
+  if (resume && cfg.resume_from.empty()) {
+    if (cfg.checkpoint_dir.empty()) {
+      std::cerr << "--resume needs --checkpoint-dir or an explicit path\n";
+      return 1;
+    }
+    cfg.resume_from = cfg.checkpoint_dir;
+  }
 
   core::DpoAfPipeline pipe(cfg);
   std::cout << "model: " << pipe.model().parameter_count()
             << " parameters, vocab " << pipe.tokenizer().vocab_size()
             << ", context " << pipe.model().config().max_seq << "\n";
 
-  std::cout << "\n[1/4] pre-training on the synthetic driving corpus...\n";
-  const auto pt = pipe.pretrain_model();
-  std::cout << "      loss " << TextTable::num(pt.epoch_losses.front(), 3)
-            << " -> " << TextTable::num(pt.epoch_losses.back(), 3) << "\n";
+  core::RunResult result;
+  if (resume) {
+    std::cout << "\nresuming from " << cfg.resume_from << "...\n";
+    result = pipe.run();
+    std::cout << "      final loss "
+              << TextTable::num(result.metrics.back().loss, 4)
+              << ", accuracy "
+              << TextTable::num(result.metrics.back().accuracy, 3)
+              << ", margin "
+              << TextTable::num(result.metrics.back().margin, 3) << "\n";
+  } else {
+    std::cout << "\n[1/4] pre-training on the synthetic driving corpus...\n";
+    const auto pt = pipe.pretrain_model();
+    std::cout << "      loss " << TextTable::num(pt.epoch_losses.front(), 3)
+              << " -> " << TextTable::num(pt.epoch_losses.back(), 3) << "\n";
 
-  std::cout << "\n[2/4] sampling " << pipe.config().responses_per_task
-            << " responses per training task and verifying each...\n";
-  const auto candidates = pipe.collect_candidates();
-  for (const auto& tc : candidates) {
-    std::cout << "      " << tc.task_id << ": scores";
-    for (const auto& c : tc.candidates) std::cout << " " << c.score;
-    std::cout << "\n";
+    std::cout << "\n[2/4] sampling " << pipe.config().responses_per_task
+              << " responses per training task and verifying each...\n";
+    const auto candidates = pipe.collect_candidates();
+    for (const auto& tc : candidates) {
+      std::cout << "      " << tc.task_id << ": scores";
+      for (const auto& c : tc.candidates) std::cout << " " << c.score;
+      std::cout << "\n";
+    }
+
+    const auto pairs = pipe.build_pairs(candidates);
+    std::cout << "\n[3/4] " << pairs.size()
+              << " preference pairs -> DPO fine-tuning (" << cfg.dpo.epochs
+              << " epochs)...\n";
+    result = pipe.run_dpo(pairs);
+    std::cout << "      final loss "
+              << TextTable::num(result.metrics.back().loss, 4)
+              << ", accuracy "
+              << TextTable::num(result.metrics.back().accuracy, 3)
+              << ", margin "
+              << TextTable::num(result.metrics.back().margin, 3) << "\n";
   }
-
-  const auto pairs = pipe.build_pairs(candidates);
-  std::cout << "\n[3/4] " << pairs.size()
-            << " preference pairs -> DPO fine-tuning (" << cfg.dpo.epochs
-            << " epochs)...\n";
-  const auto result = pipe.run_dpo(pairs);
-  std::cout << "      final loss "
-            << TextTable::num(result.metrics.back().loss, 4) << ", accuracy "
-            << TextTable::num(result.metrics.back().accuracy, 3)
-            << ", margin "
-            << TextTable::num(result.metrics.back().margin, 3) << "\n";
 
   std::cout << "\n[4/4] specification satisfaction before vs after:\n\n";
   TextTable table("specifications satisfied (of 15, sampled responses)");

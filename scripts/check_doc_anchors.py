@@ -1,0 +1,84 @@
+#!/usr/bin/env python3
+"""Check that docs/ARCHITECTURE.md documents every src/ subsystem.
+
+The architecture doc promises one `### src/<name>` subsection per
+directory under src/; this gate fails when a subsystem is added without
+its doc entry (or an entry goes stale after a directory is removed). The
+README's architecture tree must mention each subsystem too, so the two
+high-level views cannot drift apart.
+
+Usage: check_doc_anchors.py [REPO_ROOT]
+Exit code 0 when the docs cover src/ exactly, 1 otherwise.
+"""
+
+import os
+import re
+import sys
+
+
+def src_subsystems(root):
+    src = os.path.join(root, "src")
+    out = []
+    for name in sorted(os.listdir(src)):
+        path = os.path.join(src, name)
+        # A subsystem is a directory that participates in the build.
+        if os.path.isdir(path) and os.path.exists(
+                os.path.join(path, "CMakeLists.txt")):
+            out.append(name)
+    return out
+
+
+def architecture_entries(doc_path):
+    entries = set()
+    with open(doc_path, encoding="utf-8") as f:
+        for line in f:
+            m = re.match(r"###\s+`src/([A-Za-z0-9_]+)`", line)
+            if m:
+                entries.add(m.group(1))
+    return entries
+
+
+def main(argv):
+    root = argv[1] if len(argv) > 1 else "."
+    doc_path = os.path.join(root, "docs", "ARCHITECTURE.md")
+    readme_path = os.path.join(root, "README.md")
+    errors = []
+
+    if not os.path.exists(doc_path):
+        print(f"error: missing {doc_path}", file=sys.stderr)
+        return 1
+
+    subsystems = src_subsystems(root)
+    entries = architecture_entries(doc_path)
+
+    for name in subsystems:
+        if name not in entries:
+            errors.append(
+                f"src/{name} has no '### `src/{name}`' entry in "
+                f"docs/ARCHITECTURE.md")
+    for name in sorted(entries):
+        if name not in subsystems:
+            errors.append(
+                f"docs/ARCHITECTURE.md documents 'src/{name}' but that "
+                f"directory does not exist (stale entry)")
+
+    if os.path.exists(readme_path):
+        with open(readme_path, encoding="utf-8") as f:
+            readme = f.read()
+        for name in subsystems:
+            if not re.search(rf"^\s+{re.escape(name)}/\s", readme,
+                             re.MULTILINE):
+                errors.append(
+                    f"README.md architecture tree is missing '{name}/'")
+
+    if errors:
+        for e in errors:
+            print(f"error: {e}", file=sys.stderr)
+        return 1
+    print(f"ok: {len(subsystems)} subsystems documented "
+          f"({', '.join(subsystems)})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -1,0 +1,136 @@
+// Low-level binary checkpoint framing: explicit little-endian primitive
+// encoding, CRC32-protected named sections, and the file header
+// (magic + schema version) every .dpoaf checkpoint starts with.
+//
+// The byte-level layout is specified normatively in
+// docs/CHECKPOINT_FORMAT.md; this header is the single implementation of
+// it. Everything here is deliberately dependency-free (util/check only)
+// so any subsystem can serialize into the same container.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "tensor/tensor.hpp"
+
+namespace dpoaf::ckpt {
+
+/// Thrown on any malformed, truncated, corrupted, or incompatible
+/// checkpoint input. The message always names the failing section or
+/// field so operators can tell CRC damage from version skew at a glance.
+class CheckpointError : public std::runtime_error {
+ public:
+  explicit CheckpointError(const std::string& what)
+      : std::runtime_error(what) {}
+};
+
+/// File magic: the first four bytes of every checkpoint file.
+inline constexpr char kMagic[4] = {'D', 'P', 'A', 'F'};
+
+/// Schema version written by this build. Readers reject files with a
+/// *newer* version (see docs/CHECKPOINT_FORMAT.md "Versioning rules").
+inline constexpr std::uint32_t kSchemaVersion = 1;
+
+/// CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320) of `size` bytes.
+/// crc32("123456789") == 0xCBF43926.
+[[nodiscard]] std::uint32_t crc32(const std::uint8_t* data, std::size_t size);
+
+/// Append-only little-endian encoder for section payloads. Floating-point
+/// values are written as their IEEE-754 bit patterns, so payloads
+/// round-trip bit-exactly (the property the resume tests depend on).
+class ByteWriter {
+ public:
+  void u8(std::uint8_t v) { buf_.push_back(v); }
+  void u32(std::uint32_t v);
+  void u64(std::uint64_t v);
+  void i32(std::int32_t v) { u32(static_cast<std::uint32_t>(v)); }
+  void i64(std::int64_t v) { u64(static_cast<std::uint64_t>(v)); }
+  void f32(float v);
+  void f64(double v);
+  /// Length-prefixed (u64) UTF-8 bytes.
+  void str(std::string_view s);
+  /// Length-prefixed (u64 element count) packed little-endian arrays.
+  void floats(const std::vector<float>& v);
+  void doubles(const std::vector<double>& v);
+  void u64s(const std::vector<std::uint64_t>& v);
+  void ints(const std::vector<int>& v);
+
+  [[nodiscard]] const std::vector<std::uint8_t>& buffer() const {
+    return buf_;
+  }
+  [[nodiscard]] std::vector<std::uint8_t> take() { return std::move(buf_); }
+
+ private:
+  std::vector<std::uint8_t> buf_;
+};
+
+/// Bounds-checked little-endian decoder over a section payload. Every
+/// overrun throws CheckpointError naming the context passed to the
+/// constructor, so a truncated section is reported as such rather than
+/// read as garbage.
+class ByteReader {
+ public:
+  ByteReader(const std::uint8_t* data, std::size_t size, std::string context)
+      : data_(data), size_(size), context_(std::move(context)) {}
+
+  [[nodiscard]] std::uint8_t u8();
+  [[nodiscard]] std::uint32_t u32();
+  [[nodiscard]] std::uint64_t u64();
+  [[nodiscard]] std::int32_t i32() { return static_cast<std::int32_t>(u32()); }
+  [[nodiscard]] std::int64_t i64() { return static_cast<std::int64_t>(u64()); }
+  [[nodiscard]] float f32();
+  [[nodiscard]] double f64();
+  [[nodiscard]] std::string str();
+  [[nodiscard]] std::vector<float> floats();
+  [[nodiscard]] std::vector<double> doubles();
+  [[nodiscard]] std::vector<std::uint64_t> u64s();
+  [[nodiscard]] std::vector<int> ints();
+
+  [[nodiscard]] std::size_t remaining() const { return size_ - off_; }
+  /// Assert the payload was consumed exactly — trailing bytes mean the
+  /// writer and reader disagree about the section layout.
+  void expect_done() const;
+
+ private:
+  void need(std::size_t n) const;
+  /// Reject element counts that cannot fit in the remaining bytes without
+  /// computing count*elem_size (which could overflow on hostile input).
+  void check_count(std::uint64_t count, std::size_t elem_size) const;
+
+  const std::uint8_t* data_;
+  std::size_t size_;
+  std::size_t off_ = 0;
+  std::string context_;
+};
+
+/// One named, CRC-protected unit of a checkpoint file. Tags are exactly
+/// four ASCII characters (e.g. "META", "WPOL").
+struct Section {
+  std::string tag;
+  std::vector<std::uint8_t> payload;
+};
+
+/// Assemble a complete checkpoint image: header (magic, version, section
+/// count) followed by each section as tag + u64 payload size + payload +
+/// CRC32(payload).
+[[nodiscard]] std::vector<std::uint8_t> pack_sections(
+    const std::vector<Section>& sections);
+
+/// Parse and validate a checkpoint image: checks magic, rejects files
+/// whose schema version is newer than kSchemaVersion, bounds-checks every
+/// section, and verifies every payload CRC. Throws CheckpointError.
+[[nodiscard]] std::vector<Section> unpack_sections(const std::uint8_t* data,
+                                                   std::size_t size);
+
+/// Serialize one tensor (shape + data) into a payload. Zero-size tensors
+/// (any dimension 0) are legal and round-trip to an empty data block.
+void write_tensor(ByteWriter& w, const tensor::Tensor& t);
+
+/// Inverse of write_tensor. Throws CheckpointError on malformed shapes
+/// (negative dimensions, data length not matching rows*cols).
+[[nodiscard]] tensor::Tensor read_tensor(ByteReader& r);
+
+}  // namespace dpoaf::ckpt

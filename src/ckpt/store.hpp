@@ -1,0 +1,86 @@
+// CheckpointSink / CheckpointStore — where snapshots go.
+//
+// The training loops talk to the abstract CheckpointSink so tests can
+// capture snapshots in memory; production uses CheckpointStore, which
+// writes atomic files into a directory with retained-last-K rotation and
+// optional crash injection (DPOAF_CRASH_AFTER_EPOCH) for resume testing.
+#pragma once
+
+#include <filesystem>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "ckpt/checkpoint.hpp"
+
+namespace dpoaf::ckpt {
+
+/// Destination for training snapshots. Implementations must be durable
+/// (or deliberately not, for tests) by the time write() returns.
+class CheckpointSink {
+ public:
+  virtual ~CheckpointSink() = default;
+  /// Persist one snapshot. Throws CheckpointError on failure.
+  virtual void write(const TrainingCheckpoint& ckpt) = 0;
+};
+
+/// Test sink: keeps every snapshot in memory, never crashes.
+class MemorySink final : public CheckpointSink {
+ public:
+  void write(const TrainingCheckpoint& ckpt) override {
+    snapshots.push_back(ckpt);
+  }
+  std::vector<TrainingCheckpoint> snapshots;
+};
+
+/// Exit code used by the fault-injection crash (distinct from any normal
+/// failure path so CI can assert the crash actually fired).
+inline constexpr int kCrashExitCode = 86;
+
+/// Parsed DPOAF_CRASH_AFTER_EPOCH directive: crash the process (via
+/// std::_Exit(kCrashExitCode)) immediately after durably writing the
+/// checkpoint for `epoch` of `stage`. Accepted forms: "N" (stage dpo),
+/// "pretrain:N", "dpo:N".
+struct CrashPlan {
+  Stage stage = Stage::kDpo;
+  int epoch = 0;
+};
+
+/// Parse a DPOAF_CRASH_AFTER_EPOCH value; nullopt when unset/empty.
+/// Throws CheckpointError on a malformed directive.
+[[nodiscard]] std::optional<CrashPlan> parse_crash_plan(const char* value);
+
+/// Directory-backed sink. File names are
+/// `ckpt-<stage>-epoch-NNNNNN.dpoaf`; each write is atomic
+/// (temp + rename) and afterwards only the newest `retain_last` files of
+/// that stage are kept (0 keeps everything).
+class CheckpointStore final : public CheckpointSink {
+ public:
+  /// Creates `dir` (and parents) if needed. Reads
+  /// DPOAF_CRASH_AFTER_EPOCH once at construction.
+  explicit CheckpointStore(std::filesystem::path dir, int retain_last = 3);
+
+  void write(const TrainingCheckpoint& ckpt) override;
+
+  [[nodiscard]] const std::filesystem::path& dir() const { return dir_; }
+  /// Path the next write(ckpt) with this stage/epoch would produce.
+  [[nodiscard]] std::filesystem::path path_for(Stage stage, int epoch) const;
+
+ private:
+  std::filesystem::path dir_;
+  int retain_last_;
+  std::optional<CrashPlan> crash_plan_;
+};
+
+/// All checkpoint files of one stage in `dir`, sorted by epoch ascending.
+[[nodiscard]] std::vector<std::filesystem::path> list_checkpoints(
+    const std::filesystem::path& dir, Stage stage);
+
+/// Resolve a --resume argument: a .dpoaf file is used as-is; a directory
+/// resolves to its newest checkpoint (preferring the dpo stage over
+/// pretrain, then the highest epoch). Throws CheckpointError when nothing
+/// resumable is found.
+[[nodiscard]] std::filesystem::path resolve_resume_path(
+    const std::filesystem::path& path_or_dir);
+
+}  // namespace dpoaf::ckpt

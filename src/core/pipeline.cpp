@@ -10,6 +10,38 @@
 
 namespace dpoaf::core {
 
+namespace {
+
+// CheckpointEval and ckpt::EvalRecord are field-for-field mirrors (ckpt
+// sits below core in the dependency order); convert at the boundary.
+ckpt::EvalRecord to_record(const CheckpointEval& e) {
+  ckpt::EvalRecord r;
+  r.epoch = e.epoch;
+  r.train_mean_satisfied = e.train_mean_satisfied;
+  r.val_mean_satisfied = e.val_mean_satisfied;
+  r.train_alignment_failure_rate = e.train_alignment_failure_rate;
+  r.val_alignment_failure_rate = e.val_alignment_failure_rate;
+  r.truncated_responses = e.truncated_responses;
+  r.per_task = e.per_task;
+  r.per_task_alignment_failure = e.per_task_alignment_failure;
+  return r;
+}
+
+CheckpointEval from_record(const ckpt::EvalRecord& r) {
+  CheckpointEval e;
+  e.epoch = r.epoch;
+  e.train_mean_satisfied = r.train_mean_satisfied;
+  e.val_mean_satisfied = r.val_mean_satisfied;
+  e.train_alignment_failure_rate = r.train_alignment_failure_rate;
+  e.val_alignment_failure_rate = r.val_alignment_failure_rate;
+  e.truncated_responses = r.truncated_responses;
+  e.per_task = r.per_task;
+  e.per_task_alignment_failure = r.per_task_alignment_failure;
+  return e;
+}
+
+}  // namespace
+
 DpoAfPipeline::DpoAfPipeline(PipelineConfig config)
     : config_(config),
       tokenizer_(lm::build_tokenizer(domain_.tasks())),
@@ -37,15 +69,89 @@ DpoAfPipeline::DpoAfPipeline(PipelineConfig config)
                            .size()));
   gpt_cfg.max_seq = longest + 16;
   model_ = TinyGpt(gpt_cfg, rng_);
+  if (!config_.checkpoint_dir.empty())
+    sink_ = std::make_shared<ckpt::CheckpointStore>(
+        config_.checkpoint_dir, config_.checkpoint_retain_last);
+}
+
+ckpt::TrainingCheckpoint DpoAfPipeline::base_checkpoint() const {
+  ckpt::TrainingCheckpoint c;
+  c.pipeline_seed = config_.seed;
+  c.model_config = model_.config();
+  c.lora_rank = config_.dpo.lora_rank;
+  c.lora_alpha = config_.dpo.lora_alpha;
+  c.vocab.reserve(tokenizer_.vocab_size());
+  for (std::size_t i = 0; i < tokenizer_.vocab_size(); ++i)
+    c.vocab.push_back(tokenizer_.word_of(static_cast<int>(i)));
+  return c;
+}
+
+void DpoAfPipeline::validate_checkpoint(
+    const ckpt::TrainingCheckpoint& snap) const {
+  if (snap.pipeline_seed != config_.seed)
+    throw ckpt::CheckpointError(
+        "checkpoint was produced with seed " +
+        std::to_string(snap.pipeline_seed) +
+        " but this pipeline is configured with seed " +
+        std::to_string(config_.seed));
+  const nn::GptConfig& want = model_.config();
+  const nn::GptConfig& got = snap.model_config;
+  if (got.vocab_size != want.vocab_size || got.d_model != want.d_model ||
+      got.n_heads != want.n_heads || got.n_layers != want.n_layers ||
+      got.d_ff != want.d_ff || got.max_seq != want.max_seq)
+    throw ckpt::CheckpointError(
+        "checkpoint model architecture does not match this pipeline's "
+        "configuration");
+  if (snap.lora_rank != config_.dpo.lora_rank ||
+      snap.lora_alpha != config_.dpo.lora_alpha)
+    throw ckpt::CheckpointError(
+        "checkpoint LoRA layout (rank " + std::to_string(snap.lora_rank) +
+        ") does not match this pipeline's configuration (rank " +
+        std::to_string(config_.dpo.lora_rank) + ")");
+  if (snap.vocab.size() != tokenizer_.vocab_size())
+    throw ckpt::CheckpointError(
+        "checkpoint vocabulary size does not match this pipeline's "
+        "tokenizer — the task catalog changed");
+  for (std::size_t i = 0; i < snap.vocab.size(); ++i)
+    if (snap.vocab[i] != tokenizer_.word_of(static_cast<int>(i)))
+      throw ckpt::CheckpointError(
+          "checkpoint vocabulary differs from this pipeline's tokenizer at "
+          "token id " + std::to_string(i) + " — the task catalog changed");
 }
 
 lm::PretrainStats DpoAfPipeline::pretrain_model() {
+  return pretrain_model_impl(nullptr);
+}
+
+lm::PretrainStats DpoAfPipeline::pretrain_model_impl(
+    const lm::PretrainState* resume) {
   obs::Span span("pretrain", obs::histogram("pipeline.pretrain_ns"));
+  // The corpus build consumes the pipeline RNG identically on fresh and
+  // resumed runs; pretrain() then restores the RNG from the snapshot, so
+  // by the end of the stage the stream matches an uninterrupted run.
   const auto corpus =
       lm::build_corpus(domain_.tasks(), tokenizer_,
                        config_.corpus_samples_per_task,
                        config_.corpus_weights, rng_);
-  auto stats = lm::pretrain(model_, corpus, config_.pretrain, rng_);
+  lm::PretrainHooks hooks;
+  if (sink_ && config_.checkpoint_every_epochs > 0) {
+    hooks.snapshot_every = config_.checkpoint_every_epochs;
+    hooks.snapshot = [this](const lm::PretrainState& s) {
+      ckpt::TrainingCheckpoint snap = base_checkpoint();
+      snap.stage = ckpt::Stage::kPretrain;
+      snap.completed_epochs = s.completed_epochs;
+      snap.policy_state = s.model_state;
+      snap.opt_m = s.opt_m;
+      snap.opt_v = s.opt_v;
+      snap.opt_steps = s.opt_steps;
+      snap.rng_state = s.rng_state;
+      snap.order = s.order;
+      snap.pretrain_losses = s.epoch_losses;
+      sink_->write(snap);
+    };
+  }
+  auto stats =
+      lm::pretrain(model_, corpus, config_.pretrain, rng_, hooks, resume);
   pretrained_ = true;
   return stats;
 }
@@ -200,16 +306,65 @@ CheckpointEval DpoAfPipeline::evaluate_model(const TinyGpt& model,
 
 RunResult DpoAfPipeline::run_dpo(
     const std::vector<dpo::PreferencePair>& pairs) {
+  return run_dpo_impl(pairs, nullptr);
+}
+
+RunResult DpoAfPipeline::run_dpo_impl(
+    const std::vector<dpo::PreferencePair>& pairs,
+    const ckpt::TrainingCheckpoint* resume) {
   RunResult result;
   result.pair_count = pairs.size();
+
+  dpo::TrainerCheckpointState trainer_resume;
+  if (resume != nullptr) {
+    // Splice the persisted history back in: metric rows come back through
+    // the trainer (which extends them), evaluations directly here.
+    trainer_resume.completed_epochs = resume->completed_epochs;
+    trainer_resume.policy_state = resume->policy_state;
+    trainer_resume.reference_state = resume->reference_state;
+    trainer_resume.opt_m = resume->opt_m;
+    trainer_resume.opt_v = resume->opt_v;
+    trainer_resume.opt_steps = resume->opt_steps;
+    trainer_resume.rng_state = resume->rng_state;
+    trainer_resume.order = resume->order;
+    trainer_resume.history = resume->dpo_history;
+    result.checkpoints.reserve(resume->evals.size());
+    for (const ckpt::EvalRecord& r : resume->evals)
+      result.checkpoints.push_back(from_record(r));
+  }
+
   {
     // "dpo" is the fifth of the five pipeline phases in the RunReport.
     obs::Span span("dpo", obs::histogram("pipeline.dpo_ns"));
     dpo::DpoTrainer trainer(model_.clone(), config_.dpo, rng_);
+    dpo::TrainHooks hooks;
+    hooks.checkpoint = [this, &result](int epoch, const TinyGpt& policy) {
+      result.checkpoints.push_back(evaluate_model(policy, epoch));
+    };
+    if (sink_ && config_.checkpoint_every_epochs > 0) {
+      hooks.snapshot_every = config_.checkpoint_every_epochs;
+      hooks.snapshot = [this, &result,
+                        &pairs](const dpo::TrainerCheckpointState& s) {
+        ckpt::TrainingCheckpoint snap = base_checkpoint();
+        snap.stage = ckpt::Stage::kDpo;
+        snap.completed_epochs = s.completed_epochs;
+        snap.policy_state = s.policy_state;
+        snap.reference_state = s.reference_state;
+        snap.opt_m = s.opt_m;
+        snap.opt_v = s.opt_v;
+        snap.opt_steps = s.opt_steps;
+        snap.rng_state = s.rng_state;
+        snap.order = s.order;
+        snap.dpo_history = s.history;
+        snap.evals.reserve(result.checkpoints.size());
+        for (const CheckpointEval& e : result.checkpoints)
+          snap.evals.push_back(to_record(e));
+        snap.pairs = pairs;
+        sink_->write(snap);
+      };
+    }
     result.metrics = trainer.train(
-        pairs, [this, &result](int epoch, const TinyGpt& policy) {
-          result.checkpoints.push_back(evaluate_model(policy, epoch));
-        });
+        pairs, hooks, resume != nullptr ? &trainer_resume : nullptr);
     model_ = trainer.policy().clone();
   }
   result.feedback_cache_stats = domain_.feedback_cache_stats();
@@ -235,6 +390,27 @@ RunResult DpoAfPipeline::run_dpo(
 }
 
 RunResult DpoAfPipeline::run() {
+  if (!config_.resume_from.empty()) {
+    const auto path = ckpt::resolve_resume_path(config_.resume_from);
+    const ckpt::TrainingCheckpoint snap = ckpt::load_checkpoint(path);
+    validate_checkpoint(snap);
+    if (snap.stage == ckpt::Stage::kDpo) {
+      // The stored preference dataset makes stages 1–4 unnecessary; DPO
+      // resumes directly and nothing downstream reads the pipeline RNG, so
+      // the final RunResult is bitwise-identical to an uninterrupted run.
+      return run_dpo_impl(snap.pairs, &snap);
+    }
+    lm::PretrainState state;
+    state.completed_epochs = snap.completed_epochs;
+    state.model_state = snap.policy_state;
+    state.opt_m = snap.opt_m;
+    state.opt_v = snap.opt_v;
+    state.opt_steps = snap.opt_steps;
+    state.rng_state = snap.rng_state;
+    state.order = snap.order;
+    state.epoch_losses = snap.pretrain_losses;
+    pretrain_model_impl(&state);
+  }
   if (!pretrained_) pretrain_model();
   const auto candidates = collect_candidates();
   const auto pairs = build_pairs(candidates);

@@ -14,9 +14,11 @@
 //      (Figure 9).
 #pragma once
 
+#include <memory>
 #include <string>
 #include <vector>
 
+#include "ckpt/store.hpp"
 #include "dpo/trainer.hpp"
 #include "driving/domain.hpp"
 #include "lm/pretrain.hpp"
@@ -82,6 +84,26 @@ struct PipelineConfig {
   /// Observability never feeds back into any computed number: the property
   /// tests assert RunResult is bitwise-identical with it on or off.
   bool observability = false;
+
+  // ---- Durable checkpointing (docs/CHECKPOINT_FORMAT.md) -------------
+  /// When non-empty, write a resumable snapshot into this directory at
+  /// every `checkpoint_every_epochs` epoch boundary of pre-training and
+  /// DPO (atomic temp-file-then-rename; file names
+  /// ckpt-<stage>-epoch-NNNNNN.dpoaf). Empty disables durable snapshots
+  /// unless a sink is injected via set_checkpoint_sink().
+  std::string checkpoint_dir;
+  /// Epochs between durable snapshots (per stage; the final epoch of a
+  /// stage is always snapshotted too). 0 disables snapshots even when a
+  /// sink is configured.
+  int checkpoint_every_epochs = 20;
+  /// Keep only the newest K snapshot files per stage (0 keeps all).
+  int checkpoint_retain_last = 3;
+  /// Path to a .dpoaf file — or a checkpoint directory, resolved to its
+  /// newest snapshot — to resume from. The checkpoint's seed, model
+  /// architecture, LoRA layout, and vocabulary must match this config;
+  /// run() then continues the interrupted stage and produces a RunResult
+  /// bitwise-identical to the uninterrupted run (property-tested).
+  std::string resume_from;
 };
 
 /// Per-checkpoint formal-verification evaluation (Figure 9's y-axis).
@@ -149,8 +171,22 @@ class DpoAfPipeline {
   /// evaluation. Leaves the fine-tuned policy accessible via model().
   RunResult run_dpo(const std::vector<dpo::PreferencePair>& pairs);
 
-  /// Convenience: run all stages and return the result.
+  /// Convenience: run all stages and return the result. When
+  /// config.resume_from is set, the run restarts from that snapshot
+  /// instead: a pretrain-stage checkpoint re-enters the pre-training loop
+  /// (then runs stages 2–6 normally); a dpo-stage checkpoint restores the
+  /// stored preference dataset and re-enters DPO directly.
   RunResult run();
+
+  /// Replace the snapshot destination (tests inject ckpt::MemorySink; a
+  /// non-empty config.checkpoint_dir installs a ckpt::CheckpointStore at
+  /// construction). Pass nullptr to disable snapshots.
+  void set_checkpoint_sink(std::shared_ptr<ckpt::CheckpointSink> sink) {
+    sink_ = std::move(sink);
+  }
+  [[nodiscard]] ckpt::CheckpointSink* checkpoint_sink() const {
+    return sink_.get();
+  }
 
   /// Verification score of one response for a task (−1 ⇒ unalignable).
   [[nodiscard]] int score_response(const driving::Task& task,
@@ -161,12 +197,25 @@ class DpoAfPipeline {
                                               int epoch) const;
 
  private:
+  /// Shared trailer of every snapshot: stage-independent identity fields
+  /// (seed, model config, LoRA layout, vocabulary).
+  [[nodiscard]] ckpt::TrainingCheckpoint base_checkpoint() const;
+  /// Throws ckpt::CheckpointError unless the snapshot is resumable under
+  /// this exact configuration (seed/architecture/LoRA/vocabulary match).
+  void validate_checkpoint(const ckpt::TrainingCheckpoint& ckpt) const;
+  /// pretrain_model() with snapshot hooks and optional restored state.
+  lm::PretrainStats pretrain_model_impl(const lm::PretrainState* resume);
+  /// run_dpo() with snapshot hooks and optional restored state.
+  RunResult run_dpo_impl(const std::vector<dpo::PreferencePair>& pairs,
+                         const ckpt::TrainingCheckpoint* resume);
+
   PipelineConfig config_;
   DrivingDomain domain_;
   Tokenizer tokenizer_;
   Rng rng_;
   TinyGpt model_;
   bool pretrained_ = false;
+  std::shared_ptr<ckpt::CheckpointSink> sink_;
 };
 
 }  // namespace dpoaf::core

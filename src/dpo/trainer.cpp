@@ -27,8 +27,37 @@ DpoTrainer::DpoTrainer(TinyGpt policy, DpoConfig config, Rng& rng)
 
 std::vector<EpochMetrics> DpoTrainer::train(
     const std::vector<PreferencePair>& pairs, const CheckpointHook& hook) {
+  TrainHooks hooks;
+  hooks.checkpoint = hook;
+  return train(pairs, hooks, nullptr);
+}
+
+std::vector<EpochMetrics> DpoTrainer::train(
+    const std::vector<PreferencePair>& pairs, const TrainHooks& hooks,
+    const TrainerCheckpointState* resume) {
   DPOAF_CHECK_MSG(!pairs.empty(), "DPO requires at least one pair");
   DPOAF_CHECK(config_.batch_size > 0);
+
+  // Restore weights before the reference precompute below: ref_w/ref_l are
+  // a pure function of (pairs, reference weights), so once the reference
+  // is back to its snapshot values the recomputed table is bit-identical
+  // to the one the interrupted run used.
+  int start_epoch = 1;
+  std::vector<std::size_t> order(pairs.size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::vector<EpochMetrics> history;
+  if (resume != nullptr) {
+    DPOAF_CHECK_MSG(resume->order.size() == pairs.size(),
+                    "resume state was captured over a different pair set");
+    DPOAF_CHECK(resume->completed_epochs >= 0);
+    policy_.load_state(resume->policy_state);
+    reference_.load_state(resume->reference_state);
+    rng_.set_state_words(resume->rng_state);
+    for (std::size_t i = 0; i < order.size(); ++i)
+      order[i] = static_cast<std::size_t>(resume->order[i]);
+    history = resume->history;
+    start_epoch = resume->completed_epochs + 1;
+  }
 
   // The reference model is frozen: its per-pair log-probabilities are
   // computed once up front (this is what makes long runs affordable).
@@ -55,17 +84,17 @@ std::vector<EpochMetrics> DpoTrainer::train(
   nn::AdamWConfig opt_cfg;
   opt_cfg.lr = config_.lr;
   nn::AdamW opt(policy_.trainable_parameters(), opt_cfg);
+  if (resume != nullptr)
+    opt.load_state(resume->opt_m, resume->opt_v, resume->opt_steps);
 
-  std::vector<std::size_t> order(pairs.size());
-  std::iota(order.begin(), order.end(), std::size_t{0});
-
-  std::vector<EpochMetrics> history;
-  if (hook) hook(0, policy_);
+  // The epoch-0 evaluation already happened (and was persisted) before
+  // the snapshot we are resuming from — re-running it would double-count.
+  if (resume == nullptr && hooks.checkpoint) hooks.checkpoint(0, policy_);
 
   static obs::Counter& step_counter = obs::counter("dpo.steps");
   static obs::Counter& pair_counter = obs::counter("dpo.pairs_seen");
   static obs::Counter& epoch_counter = obs::counter("dpo.epochs");
-  for (int epoch = 1; epoch <= config_.epochs; ++epoch) {
+  for (int epoch = start_epoch; epoch <= config_.epochs; ++epoch) {
     obs::Span epoch_span("dpo.epoch", obs::histogram("dpo.epoch_ns"));
     epoch_counter.add();
     rng_.shuffle(order);
@@ -132,11 +161,34 @@ std::vector<EpochMetrics> DpoTrainer::train(
     metrics.kl /= static_cast<double>(epoch_pairs);
     history.push_back(metrics);
 
-    if (hook && (epoch % config_.checkpoint_every == 0 ||
-                 epoch == config_.epochs))
-      hook(epoch, policy_);
+    // Evaluation first, snapshot second: a snapshot must carry every
+    // evaluation recorded up to and including its own epoch, so a resumed
+    // run can splice the history without gaps or duplicates.
+    if (hooks.checkpoint && (epoch % config_.checkpoint_every == 0 ||
+                             epoch == config_.epochs))
+      hooks.checkpoint(epoch, policy_);
+    if (hooks.snapshot && hooks.snapshot_every > 0 &&
+        (epoch % hooks.snapshot_every == 0 || epoch == config_.epochs))
+      hooks.snapshot(capture_state(epoch, opt, order, history));
   }
   return history;
+}
+
+TrainerCheckpointState DpoTrainer::capture_state(
+    int completed_epochs, const nn::AdamW& opt,
+    const std::vector<std::size_t>& order,
+    const std::vector<EpochMetrics>& history) const {
+  TrainerCheckpointState s;
+  s.completed_epochs = completed_epochs;
+  s.policy_state = policy_.state();
+  s.reference_state = reference_.state();
+  s.opt_m = opt.moments_m();
+  s.opt_v = opt.moments_v();
+  s.opt_steps = opt.steps_taken();
+  s.rng_state = rng_.state_words();
+  s.order.assign(order.begin(), order.end());
+  s.history = history;
+  return s;
 }
 
 }  // namespace dpoaf::dpo

@@ -11,11 +11,17 @@
 //                preference": 0 = indifferent, >0 = favours y_w).
 #pragma once
 
+#include <array>
+#include <cstdint>
 #include <functional>
 #include <vector>
 
 #include "dpo/dataset.hpp"
 #include "nn/gpt.hpp"
+
+namespace dpoaf::nn {
+class AdamW;
+}
 
 namespace dpoaf::dpo {
 
@@ -57,6 +63,38 @@ struct EpochMetrics {
 /// and after the final epoch.
 using CheckpointHook = std::function<void(int, const TinyGpt&)>;
 
+/// Everything train() needs to continue from an epoch boundary exactly as
+/// if the process had never stopped: weights (policy with its LoRA
+/// adapters, frozen reference), AdamW moments, the trainer's RNG stream,
+/// the in-place shuffle permutation, and the metric history so far.
+/// Captured by the snapshot hook; fed back via train()'s `resume`.
+struct TrainerCheckpointState {
+  int completed_epochs = 0;
+  std::vector<float> policy_state;
+  std::vector<float> reference_state;
+  std::vector<std::vector<float>> opt_m;
+  std::vector<std::vector<float>> opt_v;
+  std::int64_t opt_steps = 0;
+  std::array<std::uint64_t, 4> rng_state{};
+  std::vector<std::uint64_t> order;
+  std::vector<EpochMetrics> history;
+};
+
+/// Receives the full resumable state at a snapshot boundary. Runs after
+/// the CheckpointHook of the same epoch, so a snapshot always includes
+/// every evaluation the caller recorded up to and including that epoch.
+using SnapshotHook = std::function<void(const TrainerCheckpointState&)>;
+
+/// Hook bundle for train(). `checkpoint` keeps the historical
+/// (epoch, policy) evaluation cadence; `snapshot` fires every
+/// `snapshot_every` epochs (and after the final epoch) with durable
+/// state. snapshot_every == 0 disables snapshots.
+struct TrainHooks {
+  CheckpointHook checkpoint;
+  SnapshotHook snapshot;
+  int snapshot_every = 0;
+};
+
 class DpoTrainer {
  public:
   /// Takes ownership of a policy initialized from the pre-trained model.
@@ -68,11 +106,26 @@ class DpoTrainer {
   std::vector<EpochMetrics> train(const std::vector<PreferencePair>& pairs,
                                   const CheckpointHook& hook = {});
 
+  /// As above, with snapshot hooks and optional resume. When `resume` is
+  /// non-null the trainer restores weights/optimizer/RNG/permutation from
+  /// it and continues at resume->completed_epochs + 1; the returned
+  /// history is resume->history extended with the new epochs, and the
+  /// final result is bitwise-identical to an uninterrupted run (the
+  /// property tests in tests/test_properties.cpp enforce this).
+  std::vector<EpochMetrics> train(const std::vector<PreferencePair>& pairs,
+                                  const TrainHooks& hooks,
+                                  const TrainerCheckpointState* resume);
+
   [[nodiscard]] const TinyGpt& policy() const { return policy_; }
   [[nodiscard]] const TinyGpt& reference() const { return reference_; }
   [[nodiscard]] const DpoConfig& config() const { return config_; }
 
  private:
+  [[nodiscard]] TrainerCheckpointState capture_state(
+      int completed_epochs, const nn::AdamW& opt,
+      const std::vector<std::size_t>& order,
+      const std::vector<EpochMetrics>& history) const;
+
   TinyGpt policy_;
   TinyGpt reference_;
   DpoConfig config_;

@@ -15,6 +15,14 @@ using tensor::Tensor;
 PretrainStats pretrain(TinyGpt& model,
                        const std::vector<CorpusExample>& corpus,
                        const PretrainConfig& config, Rng& rng) {
+  return pretrain(model, corpus, config, rng, PretrainHooks{}, nullptr);
+}
+
+PretrainStats pretrain(TinyGpt& model,
+                       const std::vector<CorpusExample>& corpus,
+                       const PretrainConfig& config, Rng& rng,
+                       const PretrainHooks& hooks,
+                       const PretrainState* resume) {
   DPOAF_CHECK(!corpus.empty());
   DPOAF_CHECK(config.batch_size > 0);
   nn::AdamWConfig opt_cfg;
@@ -25,7 +33,34 @@ PretrainStats pretrain(TinyGpt& model,
   std::vector<std::size_t> order(corpus.size());
   std::iota(order.begin(), order.end(), std::size_t{0});
 
-  for (int epoch = 0; epoch < config.epochs; ++epoch) {
+  int start_epoch = 0;
+  if (resume != nullptr) {
+    DPOAF_CHECK_MSG(resume->order.size() == corpus.size(),
+                    "resume state was captured over a different corpus");
+    DPOAF_CHECK(resume->completed_epochs >= 0);
+    model.load_state(resume->model_state);
+    opt.load_state(resume->opt_m, resume->opt_v, resume->opt_steps);
+    rng.set_state_words(resume->rng_state);
+    for (std::size_t i = 0; i < order.size(); ++i)
+      order[i] = static_cast<std::size_t>(resume->order[i]);
+    stats.epoch_losses = resume->epoch_losses;
+    start_epoch = resume->completed_epochs;
+  }
+
+  const auto capture = [&](int completed) {
+    PretrainState s;
+    s.completed_epochs = completed;
+    s.model_state = model.state();
+    s.opt_m = opt.moments_m();
+    s.opt_v = opt.moments_v();
+    s.opt_steps = opt.steps_taken();
+    s.rng_state = rng.state_words();
+    s.order.assign(order.begin(), order.end());
+    s.epoch_losses = stats.epoch_losses;
+    return s;
+  };
+
+  for (int epoch = start_epoch; epoch < config.epochs; ++epoch) {
     obs::ScopedTimer timer(obs::histogram("lm.pretrain.epoch_ns"));
     rng.shuffle(order);
     double epoch_loss = 0.0;
@@ -50,6 +85,10 @@ PretrainStats pretrain(TinyGpt& model,
     }
     stats.epoch_losses.push_back(epoch_loss /
                                  static_cast<double>(corpus.size()));
+    const int completed = epoch + 1;
+    if (hooks.snapshot && hooks.snapshot_every > 0 &&
+        (completed % hooks.snapshot_every == 0 || completed == config.epochs))
+      hooks.snapshot(capture(completed));
   }
   return stats;
 }

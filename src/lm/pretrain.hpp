@@ -5,6 +5,9 @@
 // domain behaviour exactly as the paper assumes of Llama2-7B.
 #pragma once
 
+#include <array>
+#include <cstdint>
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -25,10 +28,41 @@ struct PretrainStats {
   std::vector<double> epoch_losses;  // mean CE per epoch
 };
 
+/// Resumable pre-training state captured at an epoch boundary: model
+/// weights, AdamW moments, the caller's RNG stream (pretrain shuffles
+/// consume it in place), the shuffle permutation, and losses so far.
+struct PretrainState {
+  int completed_epochs = 0;
+  std::vector<float> model_state;
+  std::vector<std::vector<float>> opt_m;
+  std::vector<std::vector<float>> opt_v;
+  std::int64_t opt_steps = 0;
+  std::array<std::uint64_t, 4> rng_state{};
+  std::vector<std::uint64_t> order;
+  std::vector<double> epoch_losses;
+};
+
+/// Snapshot hooks for pretrain(): `snapshot` fires every `snapshot_every`
+/// completed epochs (and after the final epoch); 0 disables.
+struct PretrainHooks {
+  std::function<void(const PretrainState&)> snapshot;
+  int snapshot_every = 0;
+};
+
 /// Train `model` in place; returns per-epoch losses.
 PretrainStats pretrain(TinyGpt& model,
                        const std::vector<CorpusExample>& corpus,
                        const PretrainConfig& config, Rng& rng);
+
+/// As above with snapshots and optional resume. With `resume` non-null
+/// the model/optimizer/RNG/permutation are restored and training
+/// continues at the next epoch; the final weights, losses, and the
+/// caller's RNG stream end up bitwise-identical to an uninterrupted run.
+PretrainStats pretrain(TinyGpt& model,
+                       const std::vector<CorpusExample>& corpus,
+                       const PretrainConfig& config, Rng& rng,
+                       const PretrainHooks& hooks,
+                       const PretrainState* resume);
 
 struct SamplerConfig {
   int max_new_tokens = 72;

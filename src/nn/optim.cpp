@@ -59,4 +59,19 @@ void AdamW::zero_grad() {
   for (auto& p : params_) p.zero_grad();
 }
 
+void AdamW::load_state(const std::vector<std::vector<float>>& m,
+                       const std::vector<std::vector<float>>& v,
+                       std::int64_t steps) {
+  DPOAF_CHECK_MSG(m.size() == params_.size() && v.size() == params_.size(),
+                  "optimizer state parameter count mismatch");
+  for (std::size_t pi = 0; pi < params_.size(); ++pi)
+    DPOAF_CHECK_MSG(
+        m[pi].size() == m_[pi].size() && v[pi].size() == v_[pi].size(),
+        "optimizer moment buffer size mismatch");
+  DPOAF_CHECK(steps >= 0);
+  m_ = m;
+  v_ = v;
+  t_ = steps;
+}
+
 }  // namespace dpoaf::nn

@@ -31,6 +31,21 @@ class AdamW {
   /// Global gradient norm observed at the last step() (pre-clipping).
   [[nodiscard]] double last_grad_norm() const { return last_grad_norm_; }
 
+  /// Per-parameter first/second-moment buffers in parameter-list order —
+  /// the optimizer state a durable checkpoint must carry alongside the
+  /// weights for resumed training to be bitwise-identical.
+  [[nodiscard]] const std::vector<std::vector<float>>& moments_m() const {
+    return m_;
+  }
+  [[nodiscard]] const std::vector<std::vector<float>>& moments_v() const {
+    return v_;
+  }
+  /// Restore moments and step count captured by a checkpoint. The buffer
+  /// layout must match this optimizer's parameter list exactly.
+  void load_state(const std::vector<std::vector<float>>& m,
+                  const std::vector<std::vector<float>>& v,
+                  std::int64_t steps);
+
  private:
   std::vector<tensor::Tensor> params_;
   std::vector<std::vector<float>> m_;

@@ -3,10 +3,11 @@
 // series (e.g. per-epoch DPO loss), and optionally the raw trace.
 //
 // Serialized as JSON with a stable schema ("dpoaf.run_report", version 1;
-// validated in CI by scripts/check_metrics_schema.py) and as a Chrome
-// trace ("traceEvents") loadable in chrome://tracing / ui.perfetto.dev.
-// from_json() parses exactly what to_json() emits, so reports round-trip —
-// the perf-smoke CI job and future PRs can diff runs structurally.
+// field-by-field spec in docs/RUN_REPORT_SCHEMA.md, validated in CI by
+// scripts/check_metrics_schema.py) and as a Chrome trace ("traceEvents")
+// loadable in chrome://tracing / ui.perfetto.dev. from_json() parses
+// exactly what to_json() emits, so reports round-trip — the perf-smoke CI
+// job and future PRs can diff runs structurally.
 #pragma once
 
 #include <string>
@@ -19,17 +20,30 @@
 namespace dpoaf::obs {
 
 /// A named sequence of doubles, e.g. {"dpo.loss", one value per epoch}.
+/// Non-finite values serialize as JSON null and parse back as NaN.
 struct Series {
   std::string name;
   std::vector<double> values;
 };
 
+/// One run's complete observability artifact. Everything here except
+/// wall-clock-derived data (histogram contents, phase total_ns, the
+/// trace) is deterministic for a fixed configuration — see the
+/// "Determinism contract" section of docs/RUN_REPORT_SCHEMA.md.
 struct RunReport {
+  /// Schema version ("dpoaf.run_report" version 1).
   int version = 1;
-  std::string tool;  // producing binary, e.g. "finetune_pipeline"
+  /// Producing binary, e.g. "finetune_pipeline".
+  std::string tool;
+  /// Registry snapshot: counters, gauges, log2-bucket histograms.
   MetricsSnapshot metrics;
+  /// Per-span-name rollups (span count + summed duration), aggregated
+  /// from `trace` at capture time.
   std::vector<PhaseStat> phases;
+  /// Producer-attached per-epoch value series, in insertion order.
   std::vector<Series> series;
+  /// Raw span events sorted by start time (dropped from the JSON when
+  /// to_json() is called with include_trace = false).
   std::vector<TraceEvent> trace;
 };
 

@@ -3,6 +3,7 @@
 // experiments are reproducible bit-for-bit given a seed.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <limits>
 
@@ -123,6 +124,22 @@ class Rng {
 
   /// Derive an independent child generator (e.g., one per worker/seed).
   Rng split() { return Rng((*this)() ^ 0x9E3779B97F4A7C15ULL); }
+
+  /// The four 64-bit state words, exposed for durable checkpointing: a
+  /// stream captured with state_words() and restored with
+  /// set_state_words() continues exactly where it left off.
+  [[nodiscard]] std::array<std::uint64_t, 4> state_words() const {
+    return {state_[0], state_[1], state_[2], state_[3]};
+  }
+
+  /// Restore a stream captured by state_words(). The all-zero state is
+  /// a fixed point of xoshiro256** and can never be produced by reseed(),
+  /// so it is rejected as a corrupted snapshot.
+  void set_state_words(const std::array<std::uint64_t, 4>& words) {
+    DPOAF_CHECK_MSG(words[0] | words[1] | words[2] | words[3],
+                    "all-zero Rng state is invalid");
+    for (std::size_t i = 0; i < 4; ++i) state_[i] = words[i];
+  }
 
  private:
   static constexpr std::uint64_t rotl(std::uint64_t x, int k) {

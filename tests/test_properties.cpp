@@ -4,10 +4,14 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <filesystem>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "automata/product.hpp"
+#include "ckpt/checkpoint.hpp"
+#include "ckpt/store.hpp"
 #include "core/pipeline.hpp"
 #include "driving/domain.hpp"
 #include "logic/lasso_eval.hpp"
@@ -354,6 +358,167 @@ TEST(ObservabilityProperty, InstrumentedRunIdenticalAtFourThreads) {
   expect_identical_metrics(plain, traced);
   obs::set_enabled(false);
   obs::clear_trace();
+}
+
+// ----------------------------- crash-resume determinism -----------------
+//
+// The durable-checkpoint contract (docs/CHECKPOINT_FORMAT.md): a run
+// interrupted at any snapshot boundary and resumed in a fresh pipeline
+// produces a RunResult — and final model weights — bitwise-identical to
+// the uninterrupted run. Snapshots carry the trainer RNG stream, shuffle
+// permutation, optimizer moments, and metric history, so nothing about
+// the continuation depends on the interruption.
+
+struct CheckpointedRun {
+  core::RunResult result;
+  std::vector<float> final_weights;
+  std::vector<ckpt::TrainingCheckpoint> snapshots;
+};
+
+CheckpointedRun run_micro_checkpointed(int threads, bool observability,
+                                       int pretrain_epochs,
+                                       const std::string& resume_from = {}) {
+  modelcheck::clear_buchi_cache();
+  core::PipelineConfig cfg;
+  cfg.seed = 23;
+  cfg.threads = threads;
+  cfg.observability = observability;
+  cfg.d_model = 16;
+  cfg.n_heads = 2;
+  cfg.n_layers = 1;
+  cfg.d_ff = 32;
+  cfg.corpus_samples_per_task = 6;
+  cfg.pretrain.epochs = pretrain_epochs;
+  cfg.candidates_from_catalog = true;
+  cfg.dpo.epochs = 2;
+  cfg.dpo.checkpoint_every = 2;
+  cfg.dpo.pairs_per_epoch = 8;
+  cfg.dpo.lora_rank = 2;
+  cfg.eval_samples_per_task = 2;
+  cfg.eval_max_new_tokens = 24;
+  cfg.checkpoint_every_epochs = 1;
+  cfg.resume_from = resume_from;
+  core::DpoAfPipeline pipe(cfg);
+  auto sink = std::make_shared<ckpt::MemorySink>();
+  pipe.set_checkpoint_sink(sink);
+  CheckpointedRun out;
+  out.result = pipe.run();
+  out.final_weights = pipe.model().state();
+  out.snapshots = sink->snapshots;
+  util::set_global_threads(1);
+  return out;
+}
+
+std::string save_snapshot(const ckpt::TrainingCheckpoint& snap,
+                          const std::string& name) {
+  const std::filesystem::path path =
+      std::filesystem::path(::testing::TempDir()) / name;
+  ckpt::save_checkpoint(path, snap);
+  return path.string();
+}
+
+const ckpt::TrainingCheckpoint& find_snapshot(
+    const std::vector<ckpt::TrainingCheckpoint>& snapshots, ckpt::Stage stage,
+    int completed_epochs) {
+  for (const auto& s : snapshots)
+    if (s.stage == stage && s.completed_epochs == completed_epochs) return s;
+  throw std::runtime_error("expected snapshot not captured");
+}
+
+TEST(CrashResumeProperty, SnapshottingItselfChangesNothing) {
+  // A run that writes snapshots every epoch is bitwise-identical to the
+  // plain pipeline (checkpointing only observes, never perturbs).
+  const auto plain = run_micro_pipeline(1, true);
+  const auto snapshotted =
+      run_micro_checkpointed(1, /*observability=*/false, /*pretrain_epochs=*/1);
+  expect_identical_metrics(plain, snapshotted.result);
+  // pretrain final epoch + dpo epochs 1 and 2 all produced snapshots.
+  EXPECT_EQ(snapshotted.snapshots.size(), 3u);
+}
+
+TEST(CrashResumeProperty, DpoResumeBitwiseIdenticalAtOneThread) {
+  const auto baseline =
+      run_micro_checkpointed(1, /*observability=*/false, /*pretrain_epochs=*/1);
+  const auto& snap =
+      find_snapshot(baseline.snapshots, ckpt::Stage::kDpo, /*epochs=*/1);
+  const std::string path = save_snapshot(snap, "resume_dpo_t1.dpoaf");
+  const auto resumed = run_micro_checkpointed(1, false, 1, path);
+  expect_identical_metrics(baseline.result, resumed.result);
+  EXPECT_EQ(baseline.final_weights, resumed.final_weights);
+  EXPECT_EQ(baseline.result.pair_count, resumed.result.pair_count);
+}
+
+TEST(CrashResumeProperty, DpoResumeBitwiseIdenticalAtFourThreads) {
+  const auto baseline =
+      run_micro_checkpointed(4, /*observability=*/false, /*pretrain_epochs=*/1);
+  const auto& snap =
+      find_snapshot(baseline.snapshots, ckpt::Stage::kDpo, /*epochs=*/1);
+  const std::string path = save_snapshot(snap, "resume_dpo_t4.dpoaf");
+  const auto resumed = run_micro_checkpointed(4, false, 1, path);
+  expect_identical_metrics(baseline.result, resumed.result);
+  EXPECT_EQ(baseline.final_weights, resumed.final_weights);
+}
+
+TEST(CrashResumeProperty, DpoResumeCrossesThreadCounts) {
+  // Snapshot written by a 1-thread run, resumed at 4 threads: the
+  // determinism contract composes with the threading contract.
+  const auto baseline =
+      run_micro_checkpointed(1, /*observability=*/false, /*pretrain_epochs=*/1);
+  const auto& snap =
+      find_snapshot(baseline.snapshots, ckpt::Stage::kDpo, /*epochs=*/1);
+  const std::string path = save_snapshot(snap, "resume_dpo_xthread.dpoaf");
+  const auto resumed = run_micro_checkpointed(4, false, 1, path);
+  expect_identical_metrics(baseline.result, resumed.result);
+  EXPECT_EQ(baseline.final_weights, resumed.final_weights);
+}
+
+TEST(CrashResumeProperty, DpoResumeIdenticalWithObservabilityOn) {
+  obs::set_enabled(false);
+  obs::clear_trace();
+  const auto baseline =
+      run_micro_checkpointed(1, /*observability=*/false, /*pretrain_epochs=*/1);
+  const auto& snap =
+      find_snapshot(baseline.snapshots, ckpt::Stage::kDpo, /*epochs=*/1);
+  const std::string path = save_snapshot(snap, "resume_dpo_obs.dpoaf");
+  const auto resumed = run_micro_checkpointed(1, /*observability=*/true, 1, path);
+  expect_identical_metrics(baseline.result, resumed.result);
+  EXPECT_EQ(baseline.final_weights, resumed.final_weights);
+  obs::set_enabled(false);
+  obs::clear_trace();
+}
+
+TEST(CrashResumeProperty, PretrainResumeBitwiseIdentical) {
+  // Interrupt mid-pre-training (epoch 1 of 2); the resumed run re-enters
+  // the pre-training loop and then runs stages 2–6 from scratch.
+  const auto baseline =
+      run_micro_checkpointed(1, /*observability=*/false, /*pretrain_epochs=*/2);
+  const auto& snap =
+      find_snapshot(baseline.snapshots, ckpt::Stage::kPretrain, /*epochs=*/1);
+  const std::string path = save_snapshot(snap, "resume_pretrain.dpoaf");
+  const auto resumed = run_micro_checkpointed(1, false, 2, path);
+  expect_identical_metrics(baseline.result, resumed.result);
+  EXPECT_EQ(baseline.final_weights, resumed.final_weights);
+}
+
+TEST(CrashResumeProperty, ResumeRejectsMismatchedConfiguration) {
+  const auto baseline =
+      run_micro_checkpointed(1, /*observability=*/false, /*pretrain_epochs=*/1);
+  const auto& snap =
+      find_snapshot(baseline.snapshots, ckpt::Stage::kDpo, /*epochs=*/1);
+  const std::string path = save_snapshot(snap, "resume_mismatch.dpoaf");
+
+  core::PipelineConfig cfg;
+  cfg.seed = 24;  // different seed than the snapshot's 23
+  cfg.d_model = 16;
+  cfg.n_heads = 2;
+  cfg.n_layers = 1;
+  cfg.d_ff = 32;
+  cfg.candidates_from_catalog = true;
+  cfg.dpo.lora_rank = 2;
+  cfg.resume_from = path;
+  core::DpoAfPipeline pipe(cfg);
+  EXPECT_THROW((void)pipe.run(), ckpt::CheckpointError);
+  util::set_global_threads(1);
 }
 
 }  // namespace
