@@ -5,6 +5,7 @@
 #include "modelcheck/buchi.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
+#include "serve/service.hpp"
 #include "util/check.hpp"
 #include "util/threadpool.hpp"
 
@@ -38,6 +39,15 @@ CheckpointEval from_record(const ckpt::EvalRecord& r) {
   e.per_task = r.per_task;
   e.per_task_alignment_failure = r.per_task_alignment_failure;
   return e;
+}
+
+serve::ServiceConfig make_serve_config(const PipelineConfig& config) {
+  serve::ServiceConfig scfg;
+  scfg.slots = config.serve_slots;
+  scfg.queue_capacity = std::max(64, config.serve_slots * 4);
+  scfg.deterministic = true;  // results must not depend on wall-clock
+  scfg.seed = config.seed;
+  return scfg;
 }
 
 }  // namespace
@@ -177,6 +187,21 @@ std::vector<TaskCandidates> DpoAfPipeline::collect_candidates() {
   for (std::size_t i = 0; i < training.size(); ++i)
     task_rngs.push_back(rng_.split());
 
+  // Serve mode: generation goes through the continuous-batching service
+  // first (each task's m requests decode interleaved across the slots);
+  // the fan-out below then only scores. The two phases never share the
+  // thread pool, and per-request seeds come from the same serially-split
+  // task RNGs, so candidates are identical at any slot or thread count.
+  const bool use_serve = config_.serve && !config_.candidates_from_catalog;
+  std::vector<lm::SampledResponses> served(training.size());
+  if (use_serve) {
+    serve::GenerationService service(model_, make_serve_config(config_));
+    for (std::size_t u = 0; u < training.size(); ++u)
+      served[u] = lm::sample_responses_served(
+          service, tokenizer_, training[u]->prompt,
+          config_.responses_per_task, config_.sampler, task_rngs[u]);
+  }
+
   std::vector<TaskCandidates> out(training.size());
   util::parallel_for(0, static_cast<std::int64_t>(training.size()), 1,
                      [&](std::int64_t t0, std::int64_t t1) {
@@ -191,9 +216,11 @@ std::vector<TaskCandidates> DpoAfPipeline::collect_candidates() {
               {variant.text, score_response(task, variant.text)});
       } else {
         const auto responses =
-            lm::sample_responses(model_, tokenizer_, task.prompt,
-                                 config_.responses_per_task, config_.sampler,
-                                 task_rngs[u]);
+            use_serve
+                ? std::move(served[u])
+                : lm::sample_responses(model_, tokenizer_, task.prompt,
+                                       config_.responses_per_task,
+                                       config_.sampler, task_rngs[u]);
         tc.truncated = responses.truncated_count();
         for (const auto& response : responses.texts)
           tc.candidates.push_back({response, score_response(task, response)});
@@ -246,6 +273,17 @@ CheckpointEval DpoAfPipeline::evaluate_model(const TinyGpt& model,
   for (std::size_t i = 0; i < tasks.size(); ++i)
     task_rngs.push_back(eval_rng.split());
 
+  // Serve mode mirrors collect_candidates: batched generation first,
+  // scoring in the fan-out below.
+  std::vector<lm::SampledResponses> served(tasks.size());
+  if (config_.serve) {
+    serve::GenerationService service(model, make_serve_config(config_));
+    for (std::size_t u = 0; u < tasks.size(); ++u)
+      served[u] = lm::sample_responses_served(
+          service, tokenizer_, tasks[u].prompt,
+          config_.eval_samples_per_task, sampler, task_rngs[u]);
+  }
+
   eval.per_task.resize(tasks.size());
   eval.per_task_alignment_failure.resize(tasks.size());
   std::vector<int> per_task_truncated(tasks.size(), 0);
@@ -254,9 +292,12 @@ CheckpointEval DpoAfPipeline::evaluate_model(const TinyGpt& model,
     for (std::int64_t t = t0; t < t1; ++t) {
       const auto u = static_cast<std::size_t>(t);
       const auto& task = tasks[u];
-      const auto responses = lm::sample_responses(
-          model, tokenizer_, task.prompt, config_.eval_samples_per_task,
-          sampler, task_rngs[u]);
+      const auto responses =
+          config_.serve
+              ? std::move(served[u])
+              : lm::sample_responses(model, tokenizer_, task.prompt,
+                                     config_.eval_samples_per_task, sampler,
+                                     task_rngs[u]);
       per_task_truncated[u] = responses.truncated_count();
       double score_sum = 0.0;
       int failures = 0;

@@ -58,6 +58,16 @@ struct PipelineConfig {
   /// the paper's unlimited automated feedback makes the candidate source
   /// interchangeable).
   bool candidates_from_catalog = false;
+  /// Route candidate sampling and checkpoint evaluation through the
+  /// continuous-batching generation service (src/serve) in deterministic
+  /// mode: per-request seeds are drawn serially from the same task-RNG
+  /// splits, so results are reproducible at any serve_slots/threads
+  /// setting. The sampling stream differs from the direct decode loop, so
+  /// serve on/off are two distinct (each bitwise-reproducible)
+  /// experiments. See docs/SERVING.md.
+  bool serve = false;
+  /// Concurrent decode slots when serve is enabled.
+  int serve_slots = 8;
 
   // Stage 5: DPO.
   dpo::DpoConfig dpo;

@@ -246,15 +246,18 @@ void print(const Ltl& f, const Vocabulary& vocab, int parent_prec,
       out += "!";
       print(f->lhs, vocab, p + 1, out);
       break;
+    // The parser folds & and | left-associatively, so the right child
+    // needs parens at equal precedence or round-tripping would re-nest
+    // `a | (b | c)` into `(a | b) | c`.
     case LtlOp::And:
       print(f->lhs, vocab, p, out);
       out += " & ";
-      print(f->rhs, vocab, p, out);
+      print(f->rhs, vocab, p + 1, out);
       break;
     case LtlOp::Or:
       print(f->lhs, vocab, p, out);
       out += " | ";
-      print(f->rhs, vocab, p, out);
+      print(f->rhs, vocab, p + 1, out);
       break;
     case LtlOp::Implies:
       print(f->lhs, vocab, p + 1, out);

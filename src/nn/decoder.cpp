@@ -1,10 +1,49 @@
 #include "nn/decoder.hpp"
 
+#include <algorithm>
 #include <cmath>
+#include <utility>
 
 #include "util/check.hpp"
 
 namespace dpoaf::nn {
+
+int sample_token(const float* logits, std::int64_t vocab, float temperature,
+                 int top_k, Rng& rng) {
+  DPOAF_CHECK(temperature > 0.0f);
+  DPOAF_CHECK(vocab > 0);
+  // Collect (logit, id), optionally truncated to the top-k. Ties break
+  // by ascending token id: partial_sort's ordering of equal keys is
+  // implementation-defined, and the candidate set must not depend on
+  // the standard library.
+  std::vector<std::pair<float, int>> cand;
+  cand.reserve(static_cast<std::size_t>(vocab));
+  for (std::int64_t j = 0; j < vocab; ++j)
+    cand.emplace_back(logits[j], static_cast<int>(j));
+  if (top_k > 0 && top_k < static_cast<int>(cand.size())) {
+    std::partial_sort(cand.begin(), cand.begin() + top_k, cand.end(),
+                      [](const auto& a, const auto& b) {
+                        if (a.first != b.first) return a.first > b.first;
+                        return a.second < b.second;
+                      });
+    cand.resize(static_cast<std::size_t>(top_k));
+  }
+  float mx = -1e30f;
+  for (const auto& [logit, id] : cand) mx = std::max(mx, logit);
+  std::vector<double> weights;
+  weights.reserve(cand.size());
+  for (const auto& [logit, id] : cand)
+    weights.push_back(std::exp((logit - mx) / temperature));
+  return cand[rng.weighted(weights)].second;
+}
+
+int argmax_token(const float* logits, std::int64_t vocab) {
+  DPOAF_CHECK(vocab > 0);
+  int best = 0;
+  for (std::int64_t j = 1; j < vocab; ++j)
+    if (logits[j] > logits[best]) best = static_cast<int>(j);
+  return best;
+}
 
 namespace {
 

@@ -16,6 +16,19 @@
 
 namespace dpoaf::nn {
 
+/// Sample one token id from a next-token logit row with temperature and
+/// top-k truncation — the exact procedure TinyGpt::generate applies (the
+/// top-k candidate set breaks logit ties by ascending token id). Shared by
+/// the batch sampler and the serve scheduler so both paths stay bitwise
+/// interchangeable. Requires temperature > 0; top_k <= 0 keeps the full
+/// distribution.
+int sample_token(const float* logits, std::int64_t vocab, float temperature,
+                 int top_k, Rng& rng);
+
+/// Greedy argmax over a logit row; ties go to the lowest token id, matching
+/// TinyGpt::generate_greedy.
+int argmax_token(const float* logits, std::int64_t vocab);
+
 class DecodeSession {
  public:
   /// Binds to `model` (which must outlive the session). The session

@@ -92,32 +92,8 @@ Generation TinyGpt::generate(const std::vector<int>& prompt, int max_new,
     }
     const std::vector<float>& logits = session.step(last);
     ++consumed;
-    const std::int64_t v = config_.vocab_size;
-    const float* row = logits.data();
-
-    // Collect (logit, id), optionally truncated to the top-k. Ties break
-    // by ascending token id: partial_sort's ordering of equal keys is
-    // implementation-defined, and the candidate set must not depend on
-    // the standard library.
-    std::vector<std::pair<float, int>> cand;
-    cand.reserve(static_cast<std::size_t>(v));
-    for (std::int64_t j = 0; j < v; ++j)
-      cand.emplace_back(row[j], static_cast<int>(j));
-    if (top_k > 0 && top_k < static_cast<int>(cand.size())) {
-      std::partial_sort(cand.begin(), cand.begin() + top_k, cand.end(),
-                        [](const auto& a, const auto& b) {
-                          if (a.first != b.first) return a.first > b.first;
-                          return a.second < b.second;
-                        });
-      cand.resize(static_cast<std::size_t>(top_k));
-    }
-    float mx = -1e30f;
-    for (const auto& [logit, id] : cand) mx = std::max(mx, logit);
-    std::vector<double> weights;
-    weights.reserve(cand.size());
-    for (const auto& [logit, id] : cand)
-      weights.push_back(std::exp((logit - mx) / temperature));
-    const int next = cand[rng.weighted(weights)].second;
+    const int next =
+        sample_token(logits.data(), config_.vocab_size, temperature, top_k, rng);
     if (next == eos_id) break;
     last = next;
     out.ids.push_back(next);
@@ -145,11 +121,7 @@ Generation TinyGpt::generate_greedy(const std::vector<int>& prompt,
     }
     const std::vector<float>& logits = session.step(last);
     ++consumed;
-    const std::int64_t v = config_.vocab_size;
-    const float* row = logits.data();
-    int best = 0;
-    for (std::int64_t j = 1; j < v; ++j)
-      if (row[j] > row[best]) best = static_cast<int>(j);
+    const int best = argmax_token(logits.data(), config_.vocab_size);
     if (best == eos_id) break;
     last = best;
     out.ids.push_back(best);

@@ -20,20 +20,21 @@ std::vector<std::string> Tokenizer::words(std::string_view text) {
   const std::string with_nl =
       replace_all(std::string(text), "\n", std::string(" ") + kNl + " ");
   for (const std::string& raw : split_ws(with_nl)) {
-    if (raw == kNl || raw == kBos || raw == kEos || raw == kInstOpen ||
-        raw == kInstClose) {
-      out.push_back(raw);
-      continue;
-    }
-    std::string w = to_lower(raw);
     // Split trailing '.' / ',' into their own tokens (possibly several,
     // e.g. "light.," — rare but cheap to handle). Collected back-to-front
     // and reversed, so a long punctuation run ("stop.....") stays linear.
+    // This must run before the special-token check: decode() glues
+    // punctuation onto the preceding token, so "[/INST]." has to re-split
+    // into the case-sensitive special plus the punctuation.
+    std::string w = raw;
     std::vector<std::string> tail;
     while (!w.empty() && (w.back() == '.' || w.back() == ',')) {
       tail.emplace_back(1, w.back());
       w.pop_back();
     }
+    const bool special = w == kNl || w == kBos || w == kEos ||
+                         w == kInstOpen || w == kInstClose;
+    if (!special) w = to_lower(w);
     if (!w.empty()) out.push_back(w);
     out.insert(out.end(), tail.rbegin(), tail.rend());
   }

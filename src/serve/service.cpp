@@ -1,0 +1,429 @@
+#include "serve/service.hpp"
+
+#include <atomic>
+#include <condition_variable>
+#include <mutex>
+#include <thread>
+#include <utility>
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "util/check.hpp"
+#include "util/threadpool.hpp"
+
+namespace dpoaf::serve {
+
+const char* to_string(FinishReason reason) {
+  switch (reason) {
+    case FinishReason::kEos: return "eos";
+    case FinishReason::kLength: return "length";
+    case FinishReason::kContext: return "context";
+    case FinishReason::kDeadline: return "deadline";
+    case FinishReason::kShutdown: return "shutdown";
+  }
+  return "unknown";
+}
+
+Rng request_rng(std::uint64_t service_seed, std::uint64_t request_seed) {
+  // Mix both seeds into one 64-bit value with two splitmix64 rounds; Rng's
+  // reseed expands it to the full 256-bit state. A pure function of the two
+  // seeds — never derived from admission order or a shared stream.
+  std::uint64_t s = service_seed ^
+                    (0x9E3779B97F4A7C15ULL *
+                     (request_seed + 0x632BE59BD9B4E019ULL));
+  std::uint64_t z = splitmix64(s);
+  z ^= splitmix64(s);
+  return Rng(z);
+}
+
+/// A request waiting in the admission queue.
+struct GenerationService::Pending {
+  GenerateRequest req;
+  std::promise<GenerateResult> promise;
+  std::uint64_t id = 0;
+  std::uint64_t admit_ns = 0;
+};
+
+/// One decode slot. Slots are touched only by the scheduler thread and, via
+/// parallel_for, by at most one worker per iteration; the pool's fork/join
+/// orders those accesses.
+struct GenerationService::Slot {
+  bool active = false;
+  bool finished = false;
+  std::unique_ptr<nn::DecodeSession> session;
+  Rng rng{0};
+  GenerateRequest req;
+  std::promise<GenerateResult> promise;
+  std::uint64_t id = 0;
+  std::uint64_t admit_ns = 0;
+  std::uint64_t deadline_ns = 0;  // 0 = no deadline
+  bool prefilled = false;
+  int last = 0;
+  std::int64_t consumed = 0;  // tokens fed to the session
+  int steps_done = 0;         // decode steps taken (= generate()'s loop index)
+  GenerateResult result;
+};
+
+struct GenerationService::Impl {
+  std::mutex mutex;
+  std::condition_variable work_cv;   // wakes the scheduler
+  std::condition_variable space_cv;  // wakes blocking submitters
+  std::vector<Pending> queue;        // pushed in id order (FIFO within priority)
+  bool draining = false;             // no new admissions
+  bool abort = false;                // retire outstanding work as kShutdown
+  std::uint64_t next_id = 1;
+  int active_count = 0;
+  std::vector<Slot> slots;
+  std::thread scheduler;
+  std::mutex join_mutex;
+
+  std::atomic<std::uint64_t> accepted{0};
+  std::atomic<std::uint64_t> rejected_full{0};
+  std::atomic<std::uint64_t> rejected_shutdown{0};
+  std::atomic<std::uint64_t> completed{0};
+  std::atomic<std::uint64_t> generated_tokens{0};
+  std::atomic<std::uint64_t> deadline_expired{0};
+  std::atomic<std::uint64_t> iterations{0};
+};
+
+GenerationService::GenerationService(const nn::TinyGpt& model,
+                                     ServiceConfig config)
+    : model_(model), config_(config), impl_(std::make_unique<Impl>()) {
+  DPOAF_CHECK_MSG(config_.slots >= 1, "service needs at least one slot");
+  DPOAF_CHECK_MSG(config_.queue_capacity >= 0,
+                  "queue_capacity must be >= 0");
+  impl_->slots.resize(static_cast<std::size_t>(config_.slots));
+  for (Slot& slot : impl_->slots)
+    slot.session = std::make_unique<nn::DecodeSession>(model_);
+  impl_->scheduler = std::thread([this] { scheduler_loop(); });
+}
+
+GenerationService::~GenerationService() { shutdown(true); }
+
+std::string GenerationService::validate(const GenerateRequest& req) const {
+  // Everything the decode loop would CHECK is rejected here instead, so the
+  // scheduler thread never throws.
+  const auto& cfg = model_.config();
+  if (req.prompt.empty()) return "prompt is empty";
+  if (static_cast<std::int64_t>(req.prompt.size()) > cfg.max_seq)
+    return "prompt alone exceeds max_seq";
+  for (const int t : req.prompt)
+    if (t < 0 || t >= cfg.vocab_size)
+      return "prompt token out of vocabulary range";
+  if (req.max_new_tokens < 0) return "max_new_tokens must be >= 0";
+  if (!req.greedy && !(req.temperature > 0.0f))
+    return "temperature must be > 0";
+  if (req.timeout_us < 0) return "timeout_us must be >= 0";
+  return {};
+}
+
+std::optional<Submission> GenerationService::try_submit(GenerateRequest req,
+                                                        SubmitError* why) {
+  static obs::Counter& accepted_c = obs::counter("serve.requests");
+  static obs::Counter& rejected_c = obs::counter("serve.rejected");
+  if (!validate(req).empty()) {
+    if (why != nullptr) *why = SubmitError::kInvalid;
+    rejected_c.add();
+    return std::nullopt;
+  }
+  auto& im = *impl_;
+  std::promise<GenerateResult> promise;
+  Submission sub;
+  sub.result = promise.get_future();
+  {
+    std::lock_guard<std::mutex> lock(im.mutex);
+    if (im.draining) {
+      im.rejected_shutdown.fetch_add(1, std::memory_order_relaxed);
+      if (why != nullptr) *why = SubmitError::kShutdown;
+      rejected_c.add();
+      return std::nullopt;
+    }
+    if (static_cast<int>(im.queue.size()) >= config_.queue_capacity) {
+      im.rejected_full.fetch_add(1, std::memory_order_relaxed);
+      if (why != nullptr) *why = SubmitError::kQueueFull;
+      rejected_c.add();
+      return std::nullopt;
+    }
+    sub.id = im.next_id++;
+    im.queue.push_back(Pending{std::move(req), std::move(promise), sub.id,
+                               obs::monotonic_now_ns()});
+    im.accepted.fetch_add(1, std::memory_order_relaxed);
+  }
+  im.work_cv.notify_all();
+  accepted_c.add();
+  return sub;
+}
+
+Submission GenerationService::submit(GenerateRequest req) {
+  const std::string err = validate(req);
+  DPOAF_CHECK_MSG(err.empty(), "invalid GenerateRequest: " + err);
+  DPOAF_CHECK_MSG(config_.queue_capacity > 0,
+                  "blocking submit needs queue_capacity > 0");
+  static obs::Counter& accepted_c = obs::counter("serve.requests");
+  auto& im = *impl_;
+  std::promise<GenerateResult> promise;
+  Submission sub;
+  sub.result = promise.get_future();
+  {
+    std::unique_lock<std::mutex> lock(im.mutex);
+    im.space_cv.wait(lock, [&] {
+      return im.draining ||
+             static_cast<int>(im.queue.size()) < config_.queue_capacity;
+    });
+    DPOAF_CHECK_MSG(!im.draining, "submit() after shutdown");
+    sub.id = im.next_id++;
+    im.queue.push_back(Pending{std::move(req), std::move(promise), sub.id,
+                               obs::monotonic_now_ns()});
+    im.accepted.fetch_add(1, std::memory_order_relaxed);
+  }
+  im.work_cv.notify_all();
+  accepted_c.add();
+  return sub;
+}
+
+std::vector<GenerateResult> GenerationService::generate_all(
+    const std::vector<GenerateRequest>& requests) {
+  std::vector<Submission> subs;
+  subs.reserve(requests.size());
+  for (const GenerateRequest& req : requests) subs.push_back(submit(req));
+  std::vector<GenerateResult> out;
+  out.reserve(subs.size());
+  for (Submission& sub : subs) out.push_back(sub.result.get());
+  return out;
+}
+
+void GenerationService::shutdown(bool drain) {
+  auto& im = *impl_;
+  {
+    std::lock_guard<std::mutex> lock(im.mutex);
+    im.draining = true;
+    if (!drain) im.abort = true;
+  }
+  im.work_cv.notify_all();
+  im.space_cv.notify_all();
+  std::lock_guard<std::mutex> join_lock(im.join_mutex);
+  if (im.scheduler.joinable()) im.scheduler.join();
+}
+
+ServiceStats GenerationService::stats() const {
+  const auto& im = *impl_;
+  ServiceStats s;
+  s.accepted = im.accepted.load(std::memory_order_relaxed);
+  s.rejected_full = im.rejected_full.load(std::memory_order_relaxed);
+  s.rejected_shutdown = im.rejected_shutdown.load(std::memory_order_relaxed);
+  s.completed = im.completed.load(std::memory_order_relaxed);
+  s.generated_tokens = im.generated_tokens.load(std::memory_order_relaxed);
+  s.deadline_expired = im.deadline_expired.load(std::memory_order_relaxed);
+  s.iterations = im.iterations.load(std::memory_order_relaxed);
+  return s;
+}
+
+void GenerationService::admit_locked(std::uint64_t now_ns) {
+  auto& im = *impl_;
+  while (!im.queue.empty() && im.active_count < config_.slots) {
+    // Highest priority first; ids grow in admission order, so the lowest id
+    // within a priority class is the oldest (FIFO).
+    std::size_t best = 0;
+    for (std::size_t i = 1; i < im.queue.size(); ++i) {
+      const Pending& a = im.queue[i];
+      const Pending& b = im.queue[best];
+      if (a.req.priority > b.req.priority ||
+          (a.req.priority == b.req.priority && a.id < b.id))
+        best = i;
+    }
+    std::size_t si = 0;
+    while (im.slots[si].active) ++si;  // lowest free slot
+    Slot& slot = im.slots[si];
+    Pending p = std::move(im.queue[best]);
+    im.queue.erase(im.queue.begin() + static_cast<std::ptrdiff_t>(best));
+    slot.active = true;
+    slot.finished = false;
+    slot.req = std::move(p.req);
+    slot.promise = std::move(p.promise);
+    slot.id = p.id;
+    slot.admit_ns = p.admit_ns;
+    slot.deadline_ns =
+        (!config_.deterministic && slot.req.timeout_us > 0)
+            ? p.admit_ns + static_cast<std::uint64_t>(slot.req.timeout_us) *
+                               1000ULL
+            : 0;
+    slot.prefilled = false;
+    slot.last = 0;
+    slot.consumed = 0;
+    slot.steps_done = 0;
+    slot.result = GenerateResult{};
+    slot.result.queue_ns = now_ns - p.admit_ns;
+    slot.rng = request_rng(config_.seed, slot.req.seed);
+    ++im.active_count;
+  }
+}
+
+void GenerationService::advance(Slot& slot, std::uint64_t now_ns) {
+  // Mirrors one TinyGpt::generate loop step exactly (same check order, same
+  // sampling helpers), so a served request reproduces generate() bitwise
+  // when decoded with the same RNG.
+  GenerateResult& r = slot.result;
+  if (slot.deadline_ns != 0 && now_ns >= slot.deadline_ns) {
+    r.truncated = true;
+    r.finish = FinishReason::kDeadline;
+    slot.finished = true;
+    return;
+  }
+  const auto& cfg = model_.config();
+  if (!slot.prefilled) {
+    slot.session->reset();
+    for (std::size_t i = 0; i + 1 < slot.req.prompt.size(); ++i)
+      slot.session->step(slot.req.prompt[i]);
+    slot.consumed = static_cast<std::int64_t>(slot.req.prompt.size()) - 1;
+    slot.last = slot.req.prompt.back();
+    slot.prefilled = true;
+  }
+  if (slot.steps_done >= slot.req.max_new_tokens) {
+    r.finish = FinishReason::kLength;
+    slot.finished = true;
+    return;
+  }
+  if (slot.consumed + 1 >= cfg.max_seq) {
+    r.truncated = true;  // context exhausted before eos/max_new
+    r.finish = FinishReason::kContext;
+    slot.finished = true;
+    return;
+  }
+  const std::vector<float>& logits = slot.session->step(slot.last);
+  ++slot.consumed;
+  ++slot.steps_done;
+  const int next =
+      slot.req.greedy
+          ? nn::argmax_token(logits.data(), cfg.vocab_size)
+          : nn::sample_token(logits.data(), cfg.vocab_size,
+                             slot.req.temperature, slot.req.top_k, slot.rng);
+  if (next == slot.req.eos_id) {
+    r.finish = FinishReason::kEos;
+    slot.finished = true;
+    return;
+  }
+  r.ids.push_back(next);
+  slot.last = next;
+  if (r.ids.size() == 1) r.ttft_ns = obs::monotonic_now_ns() - slot.admit_ns;
+  if (slot.steps_done >= slot.req.max_new_tokens) {
+    r.finish = FinishReason::kLength;
+    slot.finished = true;
+  }
+}
+
+void GenerationService::retire(Slot& slot, std::uint64_t now_ns) {
+  static obs::Counter& tokens_c = obs::counter("serve.generated_tokens");
+  static obs::Counter& completed_c = obs::counter("serve.completed");
+  static obs::Histogram& latency_h = obs::histogram("serve.latency_ns");
+  static obs::Histogram& ttft_h = obs::histogram("serve.ttft_ns");
+  static obs::Histogram& queue_h = obs::histogram("serve.queue_ns");
+  auto& im = *impl_;
+  GenerateResult r = std::move(slot.result);
+  r.total_ns = now_ns - slot.admit_ns;
+  im.completed.fetch_add(1, std::memory_order_relaxed);
+  im.generated_tokens.fetch_add(r.ids.size(), std::memory_order_relaxed);
+  if (r.finish == FinishReason::kDeadline)
+    im.deadline_expired.fetch_add(1, std::memory_order_relaxed);
+  completed_c.add();
+  tokens_c.add(r.ids.size());
+  latency_h.record(r.total_ns);
+  if (r.ttft_ns != 0) ttft_h.record(r.ttft_ns);
+  queue_h.record(r.queue_ns);
+  slot.active = false;
+  slot.promise.set_value(std::move(r));
+}
+
+void GenerationService::scheduler_loop() {
+  static obs::Gauge& queue_depth = obs::gauge("serve.queue_depth");
+  static obs::Gauge& queue_depth_max = obs::gauge("serve.queue_depth.max");
+  static obs::Gauge& active_gauge = obs::gauge("serve.active_slots");
+  static obs::Gauge& active_max = obs::gauge("serve.active_slots.max");
+  static obs::Counter& iterations_c = obs::counter("serve.iterations");
+  auto& im = *impl_;
+  // One "serve" span per contiguous busy period (armed only while
+  // observability is on), closed whenever the service goes idle.
+  std::optional<obs::Span> busy;
+  for (;;) {
+    bool do_abort = false;
+    std::vector<Pending> failed;
+    {
+      std::unique_lock<std::mutex> lock(im.mutex);
+      im.work_cv.wait(lock, [&] {
+        return im.abort || im.draining || im.active_count > 0 ||
+               !im.queue.empty();
+      });
+      do_abort = im.abort;
+      if (do_abort) {
+        failed = std::move(im.queue);
+        im.queue.clear();
+      } else {
+        admit_locked(obs::monotonic_now_ns());
+        im.space_cv.notify_all();
+        queue_depth.set(static_cast<std::int64_t>(im.queue.size()));
+        queue_depth_max.record_max(
+            static_cast<std::int64_t>(im.queue.size()));
+        active_gauge.set(im.active_count);
+        active_max.record_max(im.active_count);
+        if (im.active_count == 0) {
+          // All slots free ⇒ admit drained the whole queue.
+          busy.reset();
+          if (im.draining) return;
+          continue;
+        }
+      }
+    }
+    if (do_abort) {
+      const std::uint64_t now = obs::monotonic_now_ns();
+      for (Pending& p : failed) {
+        GenerateResult r;
+        r.truncated = true;
+        r.finish = FinishReason::kShutdown;
+        r.queue_ns = now - p.admit_ns;
+        r.total_ns = r.queue_ns;
+        p.promise.set_value(std::move(r));
+      }
+      int aborted = 0;
+      for (Slot& slot : im.slots) {
+        if (!slot.active) continue;
+        slot.result.truncated = true;
+        slot.result.finish = FinishReason::kShutdown;
+        retire(slot, now);
+        ++aborted;
+      }
+      if (aborted > 0) {
+        std::lock_guard<std::mutex> lock(im.mutex);
+        im.active_count -= aborted;
+      }
+      return;
+    }
+
+    if (!busy && obs::enabled())
+      busy.emplace("serve", obs::histogram("serve.busy_ns"));
+    iterations_c.add();
+    im.iterations.fetch_add(1, std::memory_order_relaxed);
+    const std::uint64_t iter_ns = obs::monotonic_now_ns();
+    auto& slots = im.slots;
+    util::parallel_for(
+        0, static_cast<std::int64_t>(slots.size()), 1,
+        [&](std::int64_t lo, std::int64_t hi) {
+          for (std::int64_t i = lo; i < hi; ++i) {
+            Slot& slot = slots[static_cast<std::size_t>(i)];
+            if (slot.active && !slot.finished) advance(slot, iter_ns);
+          }
+        });
+    const std::uint64_t end_ns = obs::monotonic_now_ns();
+    int retired = 0;
+    for (Slot& slot : slots) {
+      if (slot.active && slot.finished) {
+        retire(slot, end_ns);
+        ++retired;
+      }
+    }
+    if (retired > 0) {
+      std::lock_guard<std::mutex> lock(im.mutex);
+      im.active_count -= retired;
+    }
+  }
+}
+
+}  // namespace dpoaf::serve

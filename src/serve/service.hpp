@@ -1,0 +1,167 @@
+// Continuous-batching generation service (Orca-style iteration-level
+// scheduling) over the KV-cache DecodeSession.
+//
+// A GenerationService owns a fixed fleet of decode slots and one scheduler
+// thread. Requests enter a bounded admission queue; every scheduler
+// iteration admits queued requests into free slots (priority-descending,
+// then FIFO, lowest free slot first) and advances each active slot by one
+// generated token, fanning the per-slot steps across util::ThreadPool.
+// Finished, expired, or aborted requests retire at the end of the iteration
+// and their slot is re-admitted immediately — new work never waits for the
+// whole batch to drain.
+//
+// Determinism (see docs/SERVING.md): a request's output depends only on the
+// model weights, its own fields, and request_rng(config.seed, request.seed).
+// Each slot decodes with a private DecodeSession and a private RNG that is a
+// pure function of the two seeds — never split at admission time — so token
+// ids are bitwise-identical regardless of arrival order, slot count, thread
+// count, or scheduling interleaving. In deterministic mode deadlines are
+// ignored (wall-clock expiry is the one scheduling input that could leak
+// into results); wall-clock latency fields are always report-only.
+#pragma once
+
+#include <cstdint>
+#include <future>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "nn/decoder.hpp"
+#include "nn/gpt.hpp"
+
+namespace dpoaf::serve {
+
+/// Why a request stopped decoding.
+enum class FinishReason {
+  kEos,       // sampled the eos token
+  kLength,    // emitted max_new_tokens
+  kContext,   // hit the model's max_seq context limit (truncated)
+  kDeadline,  // wall-clock deadline expired mid-decode (truncated)
+  kShutdown,  // service aborted before the request completed (truncated)
+};
+
+[[nodiscard]] const char* to_string(FinishReason reason);
+
+struct GenerateRequest {
+  std::vector<int> prompt;  // token ids; non-empty, each in [0, vocab)
+  int max_new_tokens = 72;
+  float temperature = 0.7f;  // > 0 unless greedy
+  int top_k = 6;             // <= 0 keeps the full distribution
+  int eos_id = -1;           // -1: never stop on eos
+  /// Greedy argmax decoding (temperature/top_k/seed unused).
+  bool greedy = false;
+  /// Per-request RNG seed; the decode stream is request_rng(service seed,
+  /// this seed) — independent of every other request.
+  std::uint64_t seed = 0;
+  /// Wall-clock budget from admission, microseconds; 0 = none. Ignored in
+  /// deterministic mode.
+  std::int64_t timeout_us = 0;
+  /// Higher-priority requests are admitted first; ties are FIFO.
+  int priority = 0;
+};
+
+struct GenerateResult {
+  std::vector<int> ids;    // generated tokens (eos never included)
+  bool truncated = false;  // context, deadline, or shutdown cut it short
+  FinishReason finish = FinishReason::kEos;
+  // Wall-clock latency breakdown, report-only (never fed back into token
+  // selection): admission→slot, admission→first emitted token (0 when no
+  // token was emitted), admission→retirement.
+  std::uint64_t queue_ns = 0;
+  std::uint64_t ttft_ns = 0;
+  std::uint64_t total_ns = 0;
+};
+
+enum class SubmitError {
+  kQueueFull,  // bounded admission queue at capacity
+  kShutdown,   // service no longer accepts requests
+  kInvalid,    // request failed validation (see validate())
+};
+
+/// A ticket for an admitted request.
+struct Submission {
+  std::uint64_t id = 0;
+  std::future<GenerateResult> result;
+};
+
+struct ServiceConfig {
+  int slots = 8;            // concurrent decode sessions (>= 1)
+  int queue_capacity = 64;  // admission queue bound, excluding active slots
+  /// Reproducible mode: wall-clock deadlines are ignored so results are a
+  /// pure function of (seed, request set). Latency stats stay wall-clock.
+  bool deterministic = false;
+  std::uint64_t seed = 0;  // mixed into every per-request RNG
+};
+
+/// Lifetime totals (monotone; read with stats()).
+struct ServiceStats {
+  std::uint64_t accepted = 0;
+  std::uint64_t rejected_full = 0;
+  std::uint64_t rejected_shutdown = 0;
+  std::uint64_t completed = 0;
+  std::uint64_t generated_tokens = 0;
+  std::uint64_t deadline_expired = 0;
+  std::uint64_t iterations = 0;  // scheduler iterations that advanced work
+};
+
+/// The decode RNG for a request: a pure function of the service seed and
+/// the request seed, so streams never depend on admission order.
+[[nodiscard]] Rng request_rng(std::uint64_t service_seed,
+                              std::uint64_t request_seed);
+
+class GenerationService {
+ public:
+  /// Binds to `model`, which must outlive the service and must not be
+  /// mutated while the service is running.
+  GenerationService(const nn::TinyGpt& model, ServiceConfig config);
+  /// Drains outstanding work (shutdown(true)) before returning.
+  ~GenerationService();
+
+  GenerationService(const GenerationService&) = delete;
+  GenerationService& operator=(const GenerationService&) = delete;
+
+  /// Empty when the request is valid for this service's model.
+  [[nodiscard]] std::string validate(const GenerateRequest& req) const;
+
+  /// Non-blocking admission. On rejection returns nullopt and sets *why
+  /// (when given) to the reason.
+  std::optional<Submission> try_submit(GenerateRequest req,
+                                       SubmitError* why = nullptr);
+
+  /// Blocking admission: waits for queue space. Throws ContractViolation
+  /// on an invalid request or when the service has shut down.
+  Submission submit(GenerateRequest req);
+
+  /// Submit every request (blocking for space) and wait; results come back
+  /// in input order.
+  std::vector<GenerateResult> generate_all(
+      const std::vector<GenerateRequest>& requests);
+
+  /// Stop accepting requests. drain=true completes all admitted work
+  /// first; drain=false retires active slots with FinishReason::kShutdown
+  /// (keeping any tokens generated so far) and fails queued requests the
+  /// same way. Idempotent; safe to call from multiple threads.
+  void shutdown(bool drain = true);
+
+  [[nodiscard]] ServiceStats stats() const;
+  [[nodiscard]] const ServiceConfig& config() const { return config_; }
+
+ private:
+  struct Pending;
+  struct Slot;
+  struct Impl;
+
+  void scheduler_loop();
+  /// Move queued requests into free slots; caller holds mutex_.
+  void admit_locked(std::uint64_t now_ns);
+  /// One generated token (or prefill + first token) for an active slot.
+  void advance(Slot& slot, std::uint64_t now_ns);
+  /// Fulfill a finished slot's promise and free it.
+  void retire(Slot& slot, std::uint64_t now_ns);
+
+  const nn::TinyGpt& model_;
+  ServiceConfig config_;
+  std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace dpoaf::serve

@@ -1,0 +1,160 @@
+// Differential property test: the KV-cache DecodeSession must agree with
+// the batch TinyGpt::forward across randomized model shapes (LoRA on and
+// off). The two paths accumulate floats in different orders, so logits
+// agree to ~1e-4, not bitwise — but greedy decodes must be token-identical
+// whenever the argmax is not a float-tolerance near-tie.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "nn/decoder.hpp"
+#include "nn/gpt.hpp"
+#include "util/check.hpp"
+
+namespace dpoaf {
+namespace {
+
+constexpr std::int64_t kVocab = 32;
+
+nn::GptConfig random_config(Rng& rng) {
+  nn::GptConfig cfg;
+  cfg.vocab_size = kVocab;
+  cfg.n_heads = static_cast<std::int64_t>(rng.between(1, 4));
+  cfg.d_model = cfg.n_heads * static_cast<std::int64_t>(rng.between(4, 12));
+  cfg.n_layers = static_cast<std::int64_t>(rng.between(1, 3));
+  cfg.d_ff = static_cast<std::int64_t>(rng.between(8, 48));
+  cfg.max_seq = static_cast<std::int64_t>(rng.between(8, 40));
+  return cfg;
+}
+
+std::vector<int> random_prompt(Rng& rng, std::int64_t max_len) {
+  std::vector<int> prompt(
+      static_cast<std::size_t>(rng.between(1, max_len)));
+  for (auto& t : prompt) t = static_cast<int>(rng.below(kVocab));
+  return prompt;
+}
+
+// Feed `ids` token by token; every step's logits must match the matching
+// row of the batch forward within tol.
+void expect_logits_close(const nn::TinyGpt& model, const std::vector<int>& ids,
+                         float tol = 1e-4f) {
+  const auto batch = model.forward(nullptr, ids);
+  ASSERT_EQ(batch.rows(), static_cast<std::int64_t>(ids.size()));
+  ASSERT_EQ(batch.cols(), kVocab);
+  nn::DecodeSession session(model);
+  for (std::size_t t = 0; t < ids.size(); ++t) {
+    const auto& cached = session.step(ids[t]);
+    const float* row = batch.data() + static_cast<std::int64_t>(t) * kVocab;
+    for (std::int64_t j = 0; j < kVocab; ++j)
+      ASSERT_NEAR(cached[static_cast<std::size_t>(j)], row[j], tol)
+          << "position " << t << " vocab " << j;
+  }
+}
+
+// Greedy decode via the batch forward path (recompute the whole prefix
+// every step, argmax with lowest-id tie-break). Returns false instead of a
+// token when the top-2 gap is a float-tolerance near-tie — the cached path
+// may legitimately pick the other side of such a tie.
+bool batch_greedy_step(const nn::TinyGpt& model, const std::vector<int>& ids,
+                       int* out) {
+  const auto logits = model.forward(nullptr, ids);
+  const float* row =
+      logits.data() + (static_cast<std::int64_t>(ids.size()) - 1) * kVocab;
+  const int best = nn::argmax_token(row, kVocab);
+  float second = -1e30f;
+  for (std::int64_t j = 0; j < kVocab; ++j)
+    if (static_cast<int>(j) != best) second = std::max(second, row[j]);
+  *out = best;
+  return row[best] - second > 1e-3f;
+}
+
+void expect_greedy_identical(const nn::TinyGpt& model,
+                             const std::vector<int>& prompt, int max_new,
+                             int eos_id) {
+  const auto cached = model.generate_greedy(prompt, max_new, eos_id);
+  std::vector<int> ids = prompt;
+  std::size_t compared = 0;
+  const auto max_seq = model.config().max_seq;
+  for (int step = 0; step < max_new; ++step) {
+    if (static_cast<std::int64_t>(ids.size()) >= max_seq) break;
+    int next = 0;
+    if (!batch_greedy_step(model, ids, &next)) return;  // near-tie: stop here
+    if (next == eos_id) break;
+    ASSERT_LT(compared, cached.ids.size());
+    EXPECT_EQ(cached.ids[compared], next) << "step " << step;
+    ++compared;
+    ids.push_back(next);
+  }
+}
+
+TEST(DecodeDiff, LogitsMatchForwardAcrossRandomConfigs) {
+  Rng rng(101);
+  for (int trial = 0; trial < 12; ++trial) {
+    const nn::GptConfig cfg = random_config(rng);
+    nn::TinyGpt model(cfg, rng);
+    const auto ids = random_prompt(rng, cfg.max_seq);
+    SCOPED_TRACE("trial " + std::to_string(trial));
+    expect_logits_close(model, ids);
+  }
+}
+
+TEST(DecodeDiff, LogitsMatchForwardWithLora) {
+  Rng rng(211);
+  for (int trial = 0; trial < 8; ++trial) {
+    const nn::GptConfig cfg = random_config(rng);
+    nn::TinyGpt model(cfg, rng);
+    model.enable_lora(static_cast<std::int64_t>(rng.between(1, 4)), 8.0f,
+                      rng);
+    const auto ids = random_prompt(rng, cfg.max_seq);
+    SCOPED_TRACE("trial " + std::to_string(trial));
+    expect_logits_close(model, ids);
+  }
+}
+
+TEST(DecodeDiff, GreedyDecodesTokenIdentical) {
+  Rng rng(307);
+  for (int trial = 0; trial < 10; ++trial) {
+    const nn::GptConfig cfg = random_config(rng);
+    nn::TinyGpt model(cfg, rng);
+    if (trial % 2 == 1)
+      model.enable_lora(2, 8.0f, rng);
+    const auto prompt = random_prompt(rng, std::max<std::int64_t>(1, cfg.max_seq / 2));
+    SCOPED_TRACE("trial " + std::to_string(trial));
+    expect_greedy_identical(model, prompt, 16, /*eos_id=*/1);
+  }
+}
+
+TEST(DecodeDiff, PromptExactlyFillsContext) {
+  Rng rng(401);
+  const nn::GptConfig cfg = random_config(rng);
+  nn::TinyGpt model(cfg, rng);
+  std::vector<int> prompt(static_cast<std::size_t>(cfg.max_seq), 3);
+  // The whole context is consumed by the prompt: generation truncates
+  // immediately with zero tokens, and the session accepts exactly max_seq
+  // steps.
+  const auto gen = model.generate_greedy(prompt, 8, /*eos_id=*/-1);
+  EXPECT_TRUE(gen.ids.empty());
+  EXPECT_TRUE(gen.truncated);
+  expect_logits_close(model, prompt);
+  nn::DecodeSession session(model);
+  for (const int t : prompt) session.step(t);
+  EXPECT_EQ(session.position(), cfg.max_seq);
+  EXPECT_THROW(session.step(0), ContractViolation);
+}
+
+TEST(DecodeDiff, SingleTokenPrompt) {
+  Rng rng(503);
+  for (int trial = 0; trial < 6; ++trial) {
+    const nn::GptConfig cfg = random_config(rng);
+    nn::TinyGpt model(cfg, rng);
+    const std::vector<int> prompt = {static_cast<int>(rng.below(kVocab))};
+    SCOPED_TRACE("trial " + std::to_string(trial));
+    expect_logits_close(model, prompt);
+    expect_greedy_identical(model, prompt, 8, /*eos_id=*/1);
+  }
+}
+
+}  // namespace
+}  // namespace dpoaf

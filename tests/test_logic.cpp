@@ -1,6 +1,9 @@
 #include <gtest/gtest.h>
 
+#include <cstddef>
+#include <cstdint>
 #include <functional>
+#include <string>
 
 #include "logic/lasso_eval.hpp"
 #include "logic/ltl.hpp"
@@ -322,6 +325,84 @@ TEST_F(LogicTest, PropertyNnfPreservesSemantics) {
     EXPECT_EQ(evaluate_lasso(f, w), evaluate_lasso(nnf, w))
         << to_string(f, vocab_) << "  vs NNF  " << to_string(nnf, vocab_);
   }
+}
+
+// ------------------------------------------------------- parser fuzzing ---
+
+// Build a random formula over the whole driving vocabulary with every
+// operator the printer can emit.
+Ltl random_formula(Rng& rng, const Vocabulary& vocab, int depth) {
+  if (depth == 0 || rng.chance(0.3))
+    return prop(static_cast<int>(rng.below(vocab.size())));
+  switch (rng.below(9)) {
+    case 0: return lnot(random_formula(rng, vocab, depth - 1));
+    case 1:
+      return land(random_formula(rng, vocab, depth - 1),
+                  random_formula(rng, vocab, depth - 1));
+    case 2:
+      return lor(random_formula(rng, vocab, depth - 1),
+                 random_formula(rng, vocab, depth - 1));
+    case 3:
+      return implies(random_formula(rng, vocab, depth - 1),
+                     random_formula(rng, vocab, depth - 1));
+    case 4: return next(random_formula(rng, vocab, depth - 1));
+    case 5: return eventually(random_formula(rng, vocab, depth - 1));
+    case 6: return always(random_formula(rng, vocab, depth - 1));
+    case 7:
+      return until(random_formula(rng, vocab, depth - 1),
+                   random_formula(rng, vocab, depth - 1));
+    default:
+      return release(random_formula(rng, vocab, depth - 1),
+                     random_formula(rng, vocab, depth - 1));
+  }
+}
+
+// Print → re-parse must land on the hash-consed identical node: the
+// printer's precedence handling and the parser are exact inverses up to
+// the constructors' simplifications (which both sides apply).
+TEST_F(LogicTest, PropertyPrintParseRoundTripIsHashConsedIdentity) {
+  Rng rng(777);
+  for (int trial = 0; trial < 500; ++trial) {
+    const Ltl f = random_formula(rng, vocab_, 4);
+    const std::string text = to_string(f, vocab_);
+    const Ltl reparsed = parse_ltl(text, vocab_);
+    ASSERT_EQ(f.get(), reparsed.get()) << "trial " << trial << ": " << text;
+  }
+}
+
+// Mutated/garbled inputs must either parse or raise ParseError — never
+// crash, hang, or throw anything else.
+TEST_F(LogicTest, FuzzMutatedInputsRejectedWithParseError) {
+  Rng rng(888);
+  const std::string charset =
+      "abcdefghijklmnopqrstuvwxyz_0123456789 ()!&|->UFRGX<>~^#.,\"\\";
+  int parse_errors = 0;
+  for (int trial = 0; trial < 1000; ++trial) {
+    std::string text = to_string(random_formula(rng, vocab_, 3), vocab_);
+    // 1-6 random edits: replace, insert, or delete a byte.
+    for (std::uint64_t e = 0, n = 1 + rng.below(6); e < n; ++e) {
+      if (text.empty()) {
+        text.push_back(charset[rng.below(charset.size())]);
+        continue;
+      }
+      const std::size_t at = rng.below(text.size());
+      switch (rng.below(3)) {
+        case 0: text[at] = charset[rng.below(charset.size())]; break;
+        case 1:
+          text.insert(at, 1, charset[rng.below(charset.size())]);
+          break;
+        default: text.erase(at, 1); break;
+      }
+    }
+    try {
+      (void)parse_ltl(text, vocab_);
+    } catch (const ParseError&) {
+      ++parse_errors;  // the only acceptable failure mode
+    }
+    // Any other exception type propagates and fails the test.
+  }
+  // Sanity: the mutator actually produced plenty of invalid inputs.
+  EXPECT_GT(parse_errors, 100);
 }
 
 }  // namespace

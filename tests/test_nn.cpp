@@ -1,11 +1,15 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstdint>
+#include <string>
+#include <vector>
 
 #include "nn/gpt.hpp"
 #include "nn/optim.hpp"
 #include "nn/tokenizer.hpp"
 #include "util/check.hpp"
+#include "util/rng.hpp"
 
 namespace dpoaf::nn {
 namespace {
@@ -94,6 +98,58 @@ TEST(Tokenizer, SpecialTokensSurviveEncode) {
   EXPECT_EQ(ids[0], tok.bos());
   EXPECT_EQ(ids[1], tok.inst_open());
   EXPECT_EQ(ids.back(), tok.inst_close());
+}
+
+// Lossiness (case folding, OOV -> <unk>) means decode(encode(x)) != x in
+// general, but one round must reach a fixpoint: re-encoding the decoded
+// text reproduces the ids exactly, and re-decoding reproduces the text.
+void expect_round_trip_fixpoint(const Tokenizer& tok, const std::string& text) {
+  const auto ids = tok.encode(text);
+  const std::string decoded = tok.decode(ids);
+  EXPECT_EQ(tok.encode(decoded), ids) << "input: " << text;
+  EXPECT_EQ(tok.decode(tok.encode(decoded)), decoded) << "input: " << text;
+}
+
+TEST(Tokenizer, PropertyRoundTripFixpointOnPunctuationHeavyText) {
+  Tokenizer tok = Tokenizer::build(
+      {"1. Observe the traffic light.\n2. If no car, stop.",
+       "wait, then go straight. turn left at the stop sign."});
+  const std::vector<std::string> pool = {
+      "observe", "Traffic", "light", "stop",  "go",     "OOV-word", "x9",
+      ".",       ",",       "...",   ".,.,",  "a.b",    "<s>",      "</s>",
+      "[INST]",  "[/INST]", "<nl>",  "<unk>", "stop.,", "\n",       "42."};
+  Rng rng(613);
+  for (int trial = 0; trial < 200; ++trial) {
+    std::string text;
+    for (std::uint64_t i = 0, n = 1 + rng.below(12); i < n; ++i) {
+      if (!text.empty()) text += rng.chance(0.2) ? "  " : " ";
+      text += pool[rng.below(pool.size())];
+    }
+    expect_round_trip_fixpoint(tok, text);
+  }
+}
+
+TEST(Tokenizer, PropertyOovCollapsesToUnkAndStaysStable) {
+  Tokenizer tok = Tokenizer::build({"known words only"});
+  const auto ids = tok.encode("Zebra quux9 <nothing>");
+  ASSERT_EQ(ids.size(), 3u);
+  for (const int id : ids) EXPECT_EQ(id, tok.unk());
+  EXPECT_EQ(tok.decode(ids), "<unk> <unk> <unk>");
+  expect_round_trip_fixpoint(tok, "Zebra quux9 <nothing>");
+}
+
+TEST(Tokenizer, EmptyAndWhitespaceOnlyInputs) {
+  Tokenizer tok = Tokenizer::build({"some words"});
+  EXPECT_TRUE(tok.encode("").empty());
+  EXPECT_TRUE(tok.encode("   \t  ").empty());
+  EXPECT_EQ(tok.decode({}), "");
+  EXPECT_TRUE(Tokenizer::words("").empty());
+  // Newlines are structure, not whitespace: they survive as <nl> tokens.
+  const auto nl = tok.encode(" \n ");
+  ASSERT_EQ(nl.size(), 1u);
+  EXPECT_EQ(nl[0], tok.id_of("<nl>"));
+  expect_round_trip_fixpoint(tok, " \n\n ");
+  expect_round_trip_fixpoint(tok, "");
 }
 
 // -------------------------------------------------------------- modules ---

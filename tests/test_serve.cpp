@@ -1,0 +1,386 @@
+// Continuous-batching generation service (src/serve): served decoding must
+// reproduce TinyGpt::generate bitwise per request, stay invariant to
+// arrival order / slot count / thread count in deterministic mode, and keep
+// its robustness contract (queue-full rejection, deadline expiry, drain and
+// abort shutdown).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <numeric>
+#include <vector>
+
+#include "core/pipeline.hpp"
+#include "serve/service.hpp"
+#include "util/threadpool.hpp"
+
+namespace dpoaf {
+namespace {
+
+nn::GptConfig small_config(std::int64_t max_seq = 48) {
+  nn::GptConfig cfg;
+  cfg.vocab_size = 48;
+  cfg.d_model = 16;
+  cfg.n_heads = 2;
+  cfg.n_layers = 2;
+  cfg.d_ff = 32;
+  cfg.max_seq = max_seq;
+  return cfg;
+}
+
+nn::TinyGpt small_model(std::uint64_t seed = 3) {
+  Rng rng(seed);
+  return nn::TinyGpt(small_config(), rng);
+}
+
+// A varied request set: different prompts, lengths, budgets, temperatures,
+// top-k settings, priorities, and per-request seeds. eos_id = 1 so a random
+// model terminates some requests early.
+std::vector<serve::GenerateRequest> request_set(int n,
+                                                std::uint64_t seed = 17) {
+  Rng rng(seed);
+  std::vector<serve::GenerateRequest> reqs(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    auto& req = reqs[static_cast<std::size_t>(i)];
+    const auto len = static_cast<std::size_t>(rng.between(1, 6));
+    req.prompt.resize(len);
+    for (auto& t : req.prompt) t = static_cast<int>(rng.below(48));
+    req.max_new_tokens = static_cast<int>(rng.between(0, 40));
+    req.temperature = 0.5f + 0.1f * static_cast<float>(rng.below(8));
+    req.top_k = static_cast<int>(rng.between(0, 8));
+    req.eos_id = 1;
+    req.seed = rng();
+    req.priority = static_cast<int>(rng.below(3));
+  }
+  return reqs;
+}
+
+struct Outcome {
+  std::vector<int> ids;
+  bool truncated = false;
+  serve::FinishReason finish = serve::FinishReason::kEos;
+
+  bool operator==(const Outcome& o) const {
+    return ids == o.ids && truncated == o.truncated && finish == o.finish;
+  }
+};
+
+// Submit `reqs` in the order given by `order` and return outcomes indexed
+// by original request position.
+std::vector<Outcome> run_served(const nn::TinyGpt& model,
+                                serve::ServiceConfig cfg,
+                                const std::vector<serve::GenerateRequest>& reqs,
+                                const std::vector<std::size_t>& order) {
+  serve::GenerationService service(model, cfg);
+  std::vector<std::future<serve::GenerateResult>> futures(reqs.size());
+  for (const std::size_t u : order)
+    futures[u] = service.submit(reqs[u]).result;
+  std::vector<Outcome> out(reqs.size());
+  for (std::size_t u = 0; u < reqs.size(); ++u) {
+    serve::GenerateResult r = futures[u].get();
+    out[u] = Outcome{std::move(r.ids), r.truncated, r.finish};
+  }
+  return out;
+}
+
+TEST(Serve, MatchesGenerateBitwisePerRequest) {
+  util::set_global_threads(2);
+  const nn::TinyGpt model = small_model();
+  const auto reqs = request_set(16);
+  serve::ServiceConfig cfg;
+  cfg.slots = 4;
+  cfg.deterministic = true;
+  cfg.seed = 99;
+  serve::GenerationService service(model, cfg);
+  const auto results = service.generate_all(reqs);
+  ASSERT_EQ(results.size(), reqs.size());
+  for (std::size_t u = 0; u < reqs.size(); ++u) {
+    const auto& req = reqs[u];
+    Rng rng = serve::request_rng(cfg.seed, req.seed);
+    const auto direct =
+        model.generate(req.prompt, req.max_new_tokens, req.temperature,
+                       req.top_k, req.eos_id, rng);
+    EXPECT_EQ(results[u].ids, direct.ids) << "request " << u;
+    EXPECT_EQ(results[u].truncated, direct.truncated) << "request " << u;
+  }
+  const auto stats = service.stats();
+  std::size_t total_tokens = 0;
+  for (const auto& r : results) total_tokens += r.ids.size();
+  EXPECT_EQ(stats.accepted, reqs.size());
+  EXPECT_EQ(stats.completed, reqs.size());
+  EXPECT_EQ(stats.generated_tokens, total_tokens);
+  util::set_global_threads(1);
+}
+
+TEST(Serve, GreedyMatchesGenerateGreedy) {
+  util::set_global_threads(2);
+  const nn::TinyGpt model = small_model(5);
+  serve::ServiceConfig cfg;
+  cfg.deterministic = true;
+  serve::GenerationService service(model, cfg);
+  auto reqs = request_set(8, 23);
+  for (auto& req : reqs) req.greedy = true;
+  const auto results = service.generate_all(reqs);
+  for (std::size_t u = 0; u < reqs.size(); ++u) {
+    const auto direct = model.generate_greedy(
+        reqs[u].prompt, reqs[u].max_new_tokens, reqs[u].eos_id);
+    EXPECT_EQ(results[u].ids, direct.ids) << "request " << u;
+    EXPECT_EQ(results[u].truncated, direct.truncated) << "request " << u;
+  }
+  util::set_global_threads(1);
+}
+
+// The acceptance property: the same request set yields bitwise-identical
+// responses regardless of arrival order, slot count, or thread count.
+TEST(Serve, DeterministicAcrossArrivalOrderSlotsAndThreads) {
+  const nn::TinyGpt model = small_model(7);
+  const auto reqs = request_set(24, 41);
+  std::vector<std::size_t> fifo(reqs.size());
+  std::iota(fifo.begin(), fifo.end(), std::size_t{0});
+  std::vector<std::size_t> shuffled = fifo;
+  Rng shuffle_rng(2718);
+  shuffle_rng.shuffle(shuffled);
+  std::vector<std::size_t> reversed(fifo.rbegin(), fifo.rend());
+
+  serve::ServiceConfig base;
+  base.deterministic = true;
+  base.seed = 4;
+
+  util::set_global_threads(1);
+  serve::ServiceConfig one_slot = base;
+  one_slot.slots = 1;
+  const auto reference = run_served(model, one_slot, reqs, fifo);
+
+  struct Variant {
+    int slots;
+    int threads;
+    const std::vector<std::size_t>* order;
+  };
+  const Variant variants[] = {
+      {8, 4, &shuffled},
+      {3, 2, &reversed},
+      {8, 1, &fifo},
+  };
+  for (const Variant& v : variants) {
+    util::set_global_threads(v.threads);
+    serve::ServiceConfig cfg = base;
+    cfg.slots = v.slots;
+    const auto got = run_served(model, cfg, reqs, *v.order);
+    ASSERT_EQ(got.size(), reference.size());
+    for (std::size_t u = 0; u < reference.size(); ++u)
+      EXPECT_TRUE(got[u] == reference[u])
+          << "request " << u << " diverged at slots=" << v.slots
+          << " threads=" << v.threads;
+  }
+  util::set_global_threads(1);
+}
+
+TEST(Serve, RejectsInvalidFullAndShutdown) {
+  const nn::TinyGpt model = small_model();
+  serve::ServiceConfig cfg;
+  cfg.queue_capacity = 0;  // nothing can ever be admitted
+  serve::GenerationService service(model, cfg);
+
+  serve::GenerateRequest ok;
+  ok.prompt = {2, 3};
+  serve::SubmitError why{};
+  EXPECT_FALSE(service.try_submit(ok, &why).has_value());
+  EXPECT_EQ(why, serve::SubmitError::kQueueFull);
+
+  serve::GenerateRequest bad = ok;
+  bad.prompt.clear();
+  EXPECT_FALSE(service.try_submit(bad, &why).has_value());
+  EXPECT_EQ(why, serve::SubmitError::kInvalid);
+  bad = ok;
+  bad.prompt = {-1};
+  EXPECT_NE(service.validate(bad), "");
+  bad = ok;
+  bad.temperature = 0.0f;
+  EXPECT_NE(service.validate(bad), "");
+  bad = ok;
+  bad.prompt.assign(static_cast<std::size_t>(model.config().max_seq) + 1, 2);
+  EXPECT_NE(service.validate(bad), "");
+
+  service.shutdown();
+  EXPECT_FALSE(service.try_submit(ok, &why).has_value());
+  EXPECT_EQ(why, serve::SubmitError::kShutdown);
+  const auto stats = service.stats();
+  EXPECT_EQ(stats.rejected_full, 1u);
+  EXPECT_EQ(stats.rejected_shutdown, 1u);
+}
+
+TEST(Serve, BlockingSubmitBackpressureCompletesEverything) {
+  util::set_global_threads(2);
+  const nn::TinyGpt model = small_model();
+  serve::ServiceConfig cfg;
+  cfg.slots = 1;
+  cfg.queue_capacity = 1;  // every submit beyond the first two must wait
+  serve::GenerationService service(model, cfg);
+  auto reqs = request_set(12, 61);
+  std::vector<std::future<serve::GenerateResult>> futures;
+  futures.reserve(reqs.size());
+  for (const auto& req : reqs)
+    futures.push_back(service.submit(req).result);
+  for (auto& f : futures) EXPECT_NO_THROW(f.get());
+  const auto stats = service.stats();
+  EXPECT_EQ(stats.accepted, reqs.size());
+  EXPECT_EQ(stats.completed, reqs.size());
+  EXPECT_EQ(stats.rejected_full, 0u);
+  util::set_global_threads(1);
+}
+
+TEST(Serve, DeadlineExpiryTruncatesWithFlag) {
+  const nn::TinyGpt model = small_model();
+  serve::GenerateRequest req;
+  req.prompt = {2};
+  req.max_new_tokens = 40;  // ≥ 40 decode steps ≫ 1 µs of work
+  req.eos_id = -1;          // never stops early
+  req.timeout_us = 1;
+
+  serve::ServiceConfig wall;
+  wall.deterministic = false;
+  {
+    serve::GenerationService service(model, wall);
+    const auto r = service.submit(req).result.get();
+    EXPECT_EQ(r.finish, serve::FinishReason::kDeadline);
+    EXPECT_TRUE(r.truncated);
+    EXPECT_EQ(service.stats().deadline_expired, 1u);
+  }
+
+  // Deterministic mode ignores wall-clock deadlines entirely.
+  serve::ServiceConfig det;
+  det.deterministic = true;
+  {
+    serve::GenerationService service(model, det);
+    const auto r = service.submit(req).result.get();
+    EXPECT_EQ(r.finish, serve::FinishReason::kLength);
+    EXPECT_FALSE(r.truncated);
+    EXPECT_EQ(static_cast<int>(r.ids.size()), req.max_new_tokens);
+  }
+}
+
+TEST(Serve, ContextExhaustionReportsTruncation) {
+  const nn::TinyGpt model = small_model(11);
+  serve::ServiceConfig cfg;
+  cfg.deterministic = true;
+  serve::GenerationService service(model, cfg);
+  const auto max_seq = static_cast<std::size_t>(model.config().max_seq);
+
+  // Prompt exactly fills the context: not a single token fits.
+  serve::GenerateRequest full;
+  full.prompt.assign(max_seq, 2);
+  full.max_new_tokens = 8;
+  full.eos_id = -1;
+  const auto r1 = service.submit(full).result.get();
+  EXPECT_TRUE(r1.ids.empty());
+  EXPECT_TRUE(r1.truncated);
+  EXPECT_EQ(r1.finish, serve::FinishReason::kContext);
+
+  // Budget larger than the remaining context: truncated mid-decode.
+  serve::GenerateRequest over;
+  over.prompt = {2};
+  over.max_new_tokens = 1000;
+  over.eos_id = -1;
+  const auto r2 = service.submit(over).result.get();
+  EXPECT_EQ(r2.ids.size(), max_seq - 1);
+  EXPECT_TRUE(r2.truncated);
+  EXPECT_EQ(r2.finish, serve::FinishReason::kContext);
+}
+
+TEST(Serve, GracefulDrainCompletesAllAdmittedWork) {
+  util::set_global_threads(2);
+  const nn::TinyGpt model = small_model();
+  serve::ServiceConfig cfg;
+  cfg.slots = 2;
+  serve::GenerationService service(model, cfg);
+  const auto reqs = request_set(10, 83);
+  std::vector<std::future<serve::GenerateResult>> futures;
+  for (const auto& req : reqs) futures.push_back(service.submit(req).result);
+  service.shutdown(true);
+  for (auto& f : futures) {
+    const auto r = f.get();
+    EXPECT_NE(r.finish, serve::FinishReason::kShutdown);
+  }
+  EXPECT_EQ(service.stats().completed, reqs.size());
+  util::set_global_threads(1);
+}
+
+TEST(Serve, AbortShutdownFailsOutstandingWorkFast) {
+  util::set_global_threads(2);
+  const nn::TinyGpt model = small_model();
+  serve::ServiceConfig cfg;
+  cfg.slots = 1;
+  cfg.queue_capacity = 64;
+  serve::GenerationService service(model, cfg);
+  auto reqs = request_set(32, 97);
+  for (auto& req : reqs) {
+    req.max_new_tokens = 40;
+    req.eos_id = -1;
+  }
+  std::vector<std::future<serve::GenerateResult>> futures;
+  for (const auto& req : reqs)
+    futures.push_back(service.submit(req).result);
+  service.shutdown(false);
+  for (auto& f : futures) {
+    const auto r = f.get();  // every promise must be fulfilled
+    if (r.finish == serve::FinishReason::kShutdown) {
+      EXPECT_TRUE(r.truncated);
+    }
+  }
+  serve::SubmitError why{};
+  EXPECT_FALSE(service.try_submit(reqs[0], &why).has_value());
+  EXPECT_EQ(why, serve::SubmitError::kShutdown);
+  util::set_global_threads(1);
+}
+
+// Pipeline routing: with config.serve on, candidates and checkpoint eval
+// are identical at any (serve_slots, threads) setting.
+TEST(Serve, PipelineServeModeDeterministicAcrossSlotsAndThreads) {
+  const auto run_with = [](int slots, int threads) {
+    core::PipelineConfig cfg;
+    cfg.seed = 29;
+    cfg.threads = threads;
+    cfg.d_model = 16;
+    cfg.n_heads = 2;
+    cfg.n_layers = 1;
+    cfg.d_ff = 32;
+    cfg.corpus_samples_per_task = 6;
+    cfg.pretrain.epochs = 1;
+    cfg.responses_per_task = 4;
+    cfg.sampler.max_new_tokens = 16;
+    cfg.eval_samples_per_task = 2;
+    cfg.eval_max_new_tokens = 16;
+    cfg.serve = true;
+    cfg.serve_slots = slots;
+    core::DpoAfPipeline pipe(cfg);
+    pipe.pretrain_model();
+    auto candidates = pipe.collect_candidates();
+    auto eval = pipe.evaluate_model(pipe.model(), 0);
+    return std::make_pair(std::move(candidates), std::move(eval));
+  };
+  const auto [cand_a, eval_a] = run_with(2, 1);
+  const auto [cand_b, eval_b] = run_with(8, 4);
+  util::set_global_threads(1);
+
+  ASSERT_EQ(cand_a.size(), cand_b.size());
+  for (std::size_t t = 0; t < cand_a.size(); ++t) {
+    EXPECT_EQ(cand_a[t].task_id, cand_b[t].task_id);
+    EXPECT_EQ(cand_a[t].truncated, cand_b[t].truncated);
+    ASSERT_EQ(cand_a[t].candidates.size(), cand_b[t].candidates.size());
+    for (std::size_t c = 0; c < cand_a[t].candidates.size(); ++c) {
+      EXPECT_EQ(cand_a[t].candidates[c].text, cand_b[t].candidates[c].text);
+      EXPECT_EQ(cand_a[t].candidates[c].score,
+                cand_b[t].candidates[c].score);
+    }
+  }
+  EXPECT_EQ(eval_a.train_mean_satisfied, eval_b.train_mean_satisfied);
+  EXPECT_EQ(eval_a.val_mean_satisfied, eval_b.val_mean_satisfied);
+  ASSERT_EQ(eval_a.per_task.size(), eval_b.per_task.size());
+  for (std::size_t t = 0; t < eval_a.per_task.size(); ++t) {
+    EXPECT_EQ(eval_a.per_task[t].first, eval_b.per_task[t].first);
+    EXPECT_EQ(eval_a.per_task[t].second, eval_b.per_task[t].second);
+  }
+}
+
+}  // namespace
+}  // namespace dpoaf

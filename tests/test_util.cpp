@@ -328,6 +328,64 @@ TEST(ShardedCache, GetOrComputeReleasesWaitersOnThrow) {
   EXPECT_EQ(cache.get_or_compute(1, [] { return 9; }), 9);
 }
 
+TEST(ShardedCache, ConcurrentMixedOpsUnderEvictionPressureKeepCountersExact) {
+  // Tiny capacity over a wide key range: evictions fire constantly, so
+  // keys get recomputed after falling out. Run under TSan in CI. Invariants
+  // that must survive any interleaving:
+  //   - every observed value is f(key) (no lost or torn updates),
+  //   - hits + misses == lookups issued,
+  //   - inserts == computes (each successful compute lands exactly once;
+  //     single-flight means no duplicate insert can swallow one),
+  //   - evictions == inserts - size() (every insert grows or displaces),
+  //   - size() <= capacity().
+  util::ShardedCache<int, long> cache(/*capacity_per_shard=*/2, /*shards=*/2);
+  constexpr int kThreads = 8;
+  constexpr int kIters = 4000;
+  constexpr int kKeyRange = 64;
+  const auto value_of = [](int key) { return 7L * key + 1L; };
+  std::atomic<std::uint64_t> computes{0};
+  std::atomic<std::uint64_t> lookups{0};
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      Rng rng(static_cast<std::uint64_t>(1000 + t));
+      std::uint64_t my_lookups = 0;
+      for (int i = 0; i < kIters; ++i) {
+        const int key = static_cast<int>(rng.below(kKeyRange));
+        if (rng.chance(0.3)) {
+          ++my_lookups;
+          if (const auto v = cache.find(key)) {
+            ASSERT_EQ(*v, value_of(key));
+          }
+        } else {
+          ++my_lookups;
+          const long v = cache.get_or_compute(key, [&computes, &value_of, key] {
+            computes.fetch_add(1, std::memory_order_relaxed);
+            return value_of(key);
+          });
+          ASSERT_EQ(v, value_of(key));
+        }
+      }
+      lookups.fetch_add(my_lookups, std::memory_order_relaxed);
+    });
+  }
+  for (auto& th : threads) th.join();
+
+  const auto stats = cache.stats();
+  EXPECT_EQ(stats.hits + stats.misses, lookups.load());
+  EXPECT_EQ(stats.inserts, computes.load());
+  EXPECT_EQ(stats.evictions, stats.inserts - cache.size());
+  EXPECT_LE(cache.size(), cache.capacity());
+  EXPECT_GT(stats.evictions, 0u);  // the pressure actually materialized
+  // Whatever remains cached is still correct.
+  for (int key = 0; key < kKeyRange; ++key) {
+    if (const auto v = cache.find(key)) {
+      EXPECT_EQ(*v, value_of(key));
+    }
+  }
+}
+
 TEST(CacheStats, SummaryAndAccumulate) {
   util::CacheStats a{8, 2, 2, 1};
   util::CacheStats b{2, 0, 0, 0};
