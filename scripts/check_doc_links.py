@@ -24,6 +24,7 @@ DEFAULT_DOCS = [
     "docs/ARCHITECTURE.md",
     "docs/CHECKPOINT_FORMAT.md",
     "docs/RUN_REPORT_SCHEMA.md",
+    "docs/VERIFICATION.md",
 ]
 
 # Inline links and images: [text](target) / ![alt](target). Targets never

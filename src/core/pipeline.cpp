@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "modelcheck/buchi.hpp"
+#include "monitor/monitor.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "serve/service.hpp"
@@ -410,6 +411,7 @@ RunResult DpoAfPipeline::run_dpo_impl(
   }
   result.feedback_cache_stats = domain_.feedback_cache_stats();
   result.buchi_cache_stats = modelcheck::buchi_cache_stats();
+  result.monitor_cache_stats = monitor::monitor_cache_stats();
   if (obs::enabled()) {
     // Mirror the cache counters into gauges so a MetricsSnapshot alone
     // (e.g. a bench's --metrics-json report) carries them too.
@@ -425,6 +427,7 @@ RunResult DpoAfPipeline::run_dpo_impl(
     };
     publish("feedback_cache", result.feedback_cache_stats);
     publish("buchi_cache", result.buchi_cache_stats);
+    publish("monitor_cache", result.monitor_cache_stats);
     result.phases = obs::aggregate_phases(obs::trace_snapshot());
   }
   return result;

@@ -150,6 +150,9 @@ struct RunResult {
   /// translation cache (the latter is cumulative across pipelines).
   util::CacheStats feedback_cache_stats;
   util::CacheStats buchi_cache_stats;
+  /// Process-wide LTLf→DFA monitor cache (src/monitor), cumulative like
+  /// the Büchi cache; populated by the empirical-evaluation phase.
+  util::CacheStats monitor_cache_stats;
   /// Per-phase wall-time aggregates over the trace recorded so far
   /// (generation / synthesis / verification / ranking / dpo, plus internal
   /// sub-spans). Empty unless observability was enabled. Wall times are

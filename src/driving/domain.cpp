@@ -1,6 +1,7 @@
 #include "driving/domain.hpp"
 
 #include "automata/product.hpp"
+#include "monitor/monitor.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "util/check.hpp"
@@ -13,6 +14,19 @@ DrivingDomain::DrivingDomain()
       aligner_(glm2fsa::make_driving_aligner(vocab_)),
       specs_(rulebook(vocab_)),
       tasks_(task_catalog()) {
+  // Satisfiability / triviality pre-pass: an unsatisfiable spec would
+  // zero every controller's score and a trivially-true one would inflate
+  // it — both are rulebook authoring bugs, so reject them before any
+  // checking runs against the rulebook.
+  for (const modelcheck::NamedSpec& spec : specs_) {
+    const monitor::SpecClass cls = monitor::classify_spec(spec.formula);
+    DPOAF_CHECK_MSG(cls != monitor::SpecClass::kUnsatisfiable,
+                    "rulebook spec '" + spec.name +
+                        "' is unsatisfiable over finite traces");
+    DPOAF_CHECK_MSG(cls != monitor::SpecClass::kTriviallyTrue,
+                    "rulebook spec '" + spec.name +
+                        "' is trivially true over finite traces");
+  }
   for (ScenarioId id : all_scenarios()) {
     models_.emplace(id, make_scenario_model(id, vocab_));
     fairness_.emplace(id, fairness_assumptions(id, vocab_));

@@ -9,12 +9,33 @@ namespace dpoaf::logic {
 namespace {
 
 struct Memo {
-  // Key: (node id, position). Values memoized per evaluate_ltlf call.
-  std::unordered_map<std::uint64_t, bool> table;
+  // Key: (node id, position), compared exactly. The previous scheme
+  // flattened the pair into `id * 1000003 + pos`, which collides whenever
+  // two pairs differ by a multiple of the stride — reachable with traces
+  // past a million steps (ids are consecutive for formulas interned
+  // back-to-back), silently returning one subformula's verdict for
+  // another's (regression: tests/test_logic.cpp MemoKeyCollision).
+  struct Key {
+    std::uint64_t id = 0;
+    std::uint64_t pos = 0;
+    bool operator==(const Key&) const = default;
+  };
+  struct KeyHash {
+    std::size_t operator()(const Key& k) const {
+      // splitmix64-style mix of both fields; exactness comes from
+      // operator==, the hash only needs to spread.
+      std::uint64_t h = k.id * 0x9E3779B97F4A7C15ULL + k.pos;
+      h ^= h >> 30;
+      h *= 0xBF58476D1CE4E5B9ULL;
+      h ^= h >> 27;
+      return static_cast<std::size_t>(h);
+    }
+  };
+  std::unordered_map<Key, bool, KeyHash> table;
   const Trace* trace = nullptr;
 
-  static std::uint64_t key(const Ltl& f, std::size_t pos) {
-    return f->id * 1000003ULL + pos;
+  static Key key(const Ltl& f, std::size_t pos) {
+    return Key{f->id, pos};
   }
 
   bool eval(const Ltl& f, std::size_t pos) {
@@ -69,7 +90,7 @@ struct Memo {
   }
 
   bool memo(const Ltl& f, std::size_t pos) {
-    const std::uint64_t k = key(f, pos);
+    const Key k = key(f, pos);
     if (auto it = table.find(k); it != table.end()) return it->second;
     const bool v = eval(f, pos);
     table.emplace(k, v);
@@ -90,10 +111,20 @@ bool evaluate_ltlf(const Ltl& f, const Trace& trace, std::size_t pos) {
 
 double satisfaction_rate(const Ltl& f, const std::vector<Trace>& traces) {
   if (traces.empty()) return 0.0;
-  std::size_t sat = 0;
-  for (const Trace& t : traces)
-    if (!t.empty() && evaluate_ltlf(f, t)) ++sat;
-  return static_cast<double>(sat) / static_cast<double>(traces.size());
+  // Empty traces carry no step to evaluate: they are excluded from the
+  // denominator rather than silently counted as violations, and a batch
+  // of *only* empty traces is a simulator bug, not a 0% rate.
+  std::size_t sat = 0, evaluated = 0;
+  for (const Trace& t : traces) {
+    if (t.empty()) continue;
+    ++evaluated;
+    if (evaluate_ltlf(f, t)) ++sat;
+  }
+  DPOAF_CHECK_MSG(evaluated > 0,
+                  "satisfaction_rate over " + std::to_string(traces.size()) +
+                      " traces: every trace is empty — the simulator "
+                      "produced no steps");
+  return static_cast<double>(sat) / static_cast<double>(evaluated);
 }
 
 }  // namespace dpoaf::logic

@@ -19,7 +19,12 @@ using Trace = std::vector<Symbol>;
 /// pos < trace.size(). Memoizes internally; O(|f| · |trace|²) worst case.
 bool evaluate_ltlf(const Ltl& f, const Trace& trace, std::size_t pos = 0);
 
-/// Fraction of traces satisfying `f` — the paper's P_Φ. Empty input → 0.
+/// Fraction of non-empty traces satisfying `f` — the paper's P_Φ. Empty
+/// *input* → 0; empty traces within the input are excluded from the
+/// denominator (they carry no step to evaluate), and a non-empty input
+/// consisting solely of empty traces CHECKs — that is a simulator bug,
+/// not a 0% satisfaction rate. The compiled-monitor fast path
+/// (monitor::satisfaction_counts) is verdict-identical to this function.
 double satisfaction_rate(const Ltl& f, const std::vector<Trace>& traces);
 
 }  // namespace dpoaf::logic

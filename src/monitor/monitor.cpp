@@ -1,0 +1,534 @@
+#include "monitor/monitor.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <map>
+#include <queue>
+#include <set>
+#include <utility>
+
+#include "obs/metrics.hpp"
+#include "util/check.hpp"
+
+namespace dpoaf::monitor {
+
+namespace {
+
+using logic::LtlOp;
+
+// ------------------------------------------------------------------ NFA ---
+//
+// The NFA states are NNF formulas (hash-consed, so identity is pointer
+// equality). For a state φ and a concrete symbol σ:
+//
+//   final(φ, σ)  — does the one-step trace [σ] satisfy φ? This mirrors
+//                  the tree evaluator at the *last* trace position:
+//                  strong Next is false, U/R collapse to their right arm.
+//   pd(φ, σ)     — Antimirov partial derivatives: the set of formulas
+//                  such that, for every non-empty suffix v,
+//                  σv ⊨ φ  ⟺  v ⊨ ψ for some ψ ∈ pd(φ, σ).
+//                  Disjunction splits (the source of nondeterminism),
+//                  conjunction takes the pairwise product, and the
+//                  temporal operators unfold one step:
+//                    pd(X φ)   = {φ}
+//                    pd(φ U ψ) = pd(ψ) ∪ {x ∧ (φ U ψ) : x ∈ pd(φ)}
+//                    pd(φ R ψ) = {y ∧ x : y ∈ pd(ψ), x ∈ pd(φ)}
+//                                ∪ {y ∧ (φ R ψ) : y ∈ pd(ψ)}
+
+// LTLf-correct negation normal form. logic::to_nnf implements the
+// infinite-trace rules, where X is self-dual — but on finite traces the
+// strong next is not: ¬Xφ holds at the last position (there is no next
+// step for Xφ to claim), i.e. ¬Xφ ≡ weak-next ¬φ. The AST has no weak
+// next, so this NNF keeps `Not(Next g)` as a first-class monitor form
+// (final_at = true; one-step derivative = the NNF of ¬g) and pushes every
+// other negation to the literals. U/R and F/G stay duals under the
+// finite-trace semantics the evaluator implements, so those rules carry
+// over unchanged. The resulting node set: True, False, Prop, Not(Prop),
+// Not(Next ·), And, Or, Next, Until, Release.
+Ltl ltlf_nnf(const Ltl& f);
+
+Ltl ltlf_nnf_neg(const Ltl& f) {
+  using namespace logic::ltl;
+  switch (f->op) {
+    case LtlOp::True:
+      return lfalse();
+    case LtlOp::False:
+      return ltrue();
+    case LtlOp::Prop:
+      return lnot(f);
+    case LtlOp::Not:
+      return ltlf_nnf(f->lhs);
+    case LtlOp::And:
+      return lor(ltlf_nnf_neg(f->lhs), ltlf_nnf_neg(f->rhs));
+    case LtlOp::Or:
+      return land(ltlf_nnf_neg(f->lhs), ltlf_nnf_neg(f->rhs));
+    case LtlOp::Implies:
+      return land(ltlf_nnf(f->lhs), ltlf_nnf_neg(f->rhs));
+    case LtlOp::Next:  // ¬Xφ ≡ WX ¬φ, kept as Not(Next nnf(φ))
+      return lnot(next(ltlf_nnf(f->lhs)));
+    case LtlOp::Eventually:  // ¬Fφ = G ¬φ
+      return release(lfalse(), ltlf_nnf_neg(f->lhs));
+    case LtlOp::Always:  // ¬Gφ = F ¬φ
+      return until(ltrue(), ltlf_nnf_neg(f->lhs));
+    case LtlOp::Until:
+      return release(ltlf_nnf_neg(f->lhs), ltlf_nnf_neg(f->rhs));
+    case LtlOp::Release:
+      return until(ltlf_nnf_neg(f->lhs), ltlf_nnf_neg(f->rhs));
+  }
+  DPOAF_CHECK_MSG(false, "unreachable LtlOp in monitor NNF");
+  return f;
+}
+
+Ltl ltlf_nnf(const Ltl& f) {
+  using namespace logic::ltl;
+  switch (f->op) {
+    case LtlOp::True:
+    case LtlOp::False:
+    case LtlOp::Prop:
+      return f;
+    case LtlOp::Not:
+      return ltlf_nnf_neg(f->lhs);
+    case LtlOp::And:
+      return land(ltlf_nnf(f->lhs), ltlf_nnf(f->rhs));
+    case LtlOp::Or:
+      return lor(ltlf_nnf(f->lhs), ltlf_nnf(f->rhs));
+    case LtlOp::Implies:
+      return lor(ltlf_nnf_neg(f->lhs), ltlf_nnf(f->rhs));
+    case LtlOp::Next:
+      return next(ltlf_nnf(f->lhs));
+    case LtlOp::Eventually:
+      return until(ltrue(), ltlf_nnf(f->lhs));
+    case LtlOp::Always:
+      return release(lfalse(), ltlf_nnf(f->lhs));
+    case LtlOp::Until:
+      return until(ltlf_nnf(f->lhs), ltlf_nnf(f->rhs));
+    case LtlOp::Release:
+      return release(ltlf_nnf(f->lhs), ltlf_nnf(f->rhs));
+  }
+  DPOAF_CHECK_MSG(false, "unreachable LtlOp in monitor NNF");
+  return f;
+}
+
+bool final_at(const Ltl& f, Symbol sym) {
+  switch (f->op) {
+    case LtlOp::True:
+      return true;
+    case LtlOp::False:
+      return false;
+    case LtlOp::Prop:
+      return logic::Vocabulary::has(sym, f->prop);
+    case LtlOp::Not:  // NNF: Not wraps a proposition or a (strong) Next
+      if (f->lhs->op == LtlOp::Next) return true;  // ¬Xφ at last position
+      return !logic::Vocabulary::has(sym, f->lhs->prop);
+    case LtlOp::And:
+      return final_at(f->lhs, sym) && final_at(f->rhs, sym);
+    case LtlOp::Or:
+      return final_at(f->lhs, sym) || final_at(f->rhs, sym);
+    case LtlOp::Next:
+      return false;  // strong next: no position after the last
+    case LtlOp::Until:
+    case LtlOp::Release:
+      return final_at(f->rhs, sym);
+    default:
+      break;
+  }
+  DPOAF_CHECK_MSG(false, "non-NNF operator in monitor compilation");
+  return false;
+}
+
+// Canonical conjunction: flatten nested Ands, sort conjuncts by interning
+// id, and deduplicate before rebuilding. Without this the derivative
+// products below would keep manufacturing structurally new nestings of
+// the same conjunct set — φ∧(φ∧ψ), φ∧(φ∧(φ∧ψ)), … — and the NFA state
+// space would grow without bound. Canonicalized, every derivative is a
+// conjunction-set of subformulas, so the derivative closure is finite and
+// the subset construction terminates.
+void flatten_and(const Ltl& f, std::vector<Ltl>& out) {
+  if (f->op == LtlOp::And) {
+    flatten_and(f->lhs, out);
+    flatten_and(f->rhs, out);
+    return;
+  }
+  out.push_back(f);
+}
+
+Ltl conj(const Ltl& a, const Ltl& b) {
+  using namespace logic::ltl;
+  std::vector<Ltl> xs;
+  flatten_and(a, xs);
+  flatten_and(b, xs);
+  std::sort(xs.begin(), xs.end(),
+            [](const Ltl& x, const Ltl& y) { return x->id < y->id; });
+  std::vector<Ltl> kept;
+  for (const Ltl& x : xs) {
+    if (x->op == LtlOp::False) return lfalse();
+    if (x->op == LtlOp::True) continue;
+    if (!kept.empty() && kept.back() == x) continue;
+    kept.push_back(x);
+  }
+  return land_all(kept);  // empty → true
+}
+
+void partial_derivs(const Ltl& f, Symbol sym, std::vector<Ltl>& out) {
+  using namespace logic::ltl;
+  switch (f->op) {
+    case LtlOp::True:
+      out.push_back(ltrue());
+      return;
+    case LtlOp::False:
+      return;
+    case LtlOp::Prop:
+      if (logic::Vocabulary::has(sym, f->prop)) out.push_back(ltrue());
+      return;
+    case LtlOp::Not:
+      if (f->lhs->op == LtlOp::Next) {
+        // ¬Xg on σv (v non-empty) ⟺ v ⊭ g ⟺ v ⊨ ¬g.
+        out.push_back(ltlf_nnf_neg(f->lhs->lhs));
+        return;
+      }
+      DPOAF_DCHECK(f->lhs->op == LtlOp::Prop);
+      if (!logic::Vocabulary::has(sym, f->lhs->prop)) out.push_back(ltrue());
+      return;
+    case LtlOp::And: {
+      std::vector<Ltl> ls, rs;
+      partial_derivs(f->lhs, sym, ls);
+      partial_derivs(f->rhs, sym, rs);
+      for (const Ltl& l : ls)
+        for (const Ltl& r : rs) out.push_back(conj(l, r));
+      return;
+    }
+    case LtlOp::Or:
+      partial_derivs(f->lhs, sym, out);
+      partial_derivs(f->rhs, sym, out);
+      return;
+    case LtlOp::Next:
+      out.push_back(f->lhs);
+      return;
+    case LtlOp::Until: {
+      partial_derivs(f->rhs, sym, out);
+      std::vector<Ltl> ls;
+      partial_derivs(f->lhs, sym, ls);
+      for (const Ltl& l : ls) out.push_back(conj(l, f));
+      return;
+    }
+    case LtlOp::Release: {
+      std::vector<Ltl> rs, ls;
+      partial_derivs(f->rhs, sym, rs);
+      partial_derivs(f->lhs, sym, ls);
+      for (const Ltl& r : rs) {
+        for (const Ltl& l : ls) out.push_back(conj(r, l));
+        out.push_back(conj(r, f));
+      }
+      return;
+    }
+    default:
+      break;
+  }
+  DPOAF_CHECK_MSG(false, "non-NNF operator in monitor compilation");
+}
+
+void collect_support(const Ltl& f, std::set<unsigned>& props) {
+  if (!f) return;
+  if (f->op == LtlOp::Prop) props.insert(static_cast<unsigned>(f->prop));
+  collect_support(f->lhs, props);
+  collect_support(f->rhs, props);
+}
+
+// One DFA state of the subset construction: the set of live NFA formulas
+// (canonically sorted by interning id) plus the accept flag — whether the
+// prefix consumed so far is itself a satisfying trace. The flag is what
+// makes acceptance a state lookup instead of a function of the last
+// symbol; it never feeds into the successor sets.
+struct SubsetKey {
+  std::vector<std::uint64_t> ids;
+  bool flag = false;
+
+  bool operator<(const SubsetKey& o) const {
+    if (ids != o.ids) return ids < o.ids;
+    return flag < o.flag;
+  }
+};
+
+// Moore partition refinement: start from the accepting/rejecting split
+// and refine by successor-block signatures until stable. Blocks are
+// numbered in first-occurrence order over ascending state index, so state
+// 0 (the initial state) always lands in block 0.
+std::vector<std::uint32_t> minimize(const std::vector<std::uint32_t>& table,
+                                    const std::vector<std::uint8_t>& accepting,
+                                    std::size_t letters,
+                                    std::size_t& block_count) {
+  const std::size_t n = accepting.size();
+  std::vector<std::uint32_t> block(n);
+  for (std::size_t s = 0; s < n; ++s) block[s] = accepting[s] ? 1 : 0;
+  // Normalize: if every state has the same flag the single block is 0.
+  if (*std::min_element(block.begin(), block.end()) == 1)
+    std::fill(block.begin(), block.end(), 0);
+
+  for (;;) {
+    std::map<std::vector<std::uint32_t>, std::uint32_t> sig_to_block;
+    std::vector<std::uint32_t> next(n);
+    std::vector<std::uint32_t> sig;
+    for (std::size_t s = 0; s < n; ++s) {
+      sig.clear();
+      sig.push_back(block[s]);
+      for (std::size_t l = 0; l < letters; ++l)
+        sig.push_back(block[table[s * letters + l]]);
+      const auto [it, inserted] = sig_to_block.emplace(
+          sig, static_cast<std::uint32_t>(sig_to_block.size()));
+      next[s] = it->second;
+      (void)inserted;
+    }
+    const std::size_t count = sig_to_block.size();
+    if (count == block_count) {
+      block_count = count;
+      return next;
+    }
+    block_count = count;
+    block = std::move(next);
+  }
+}
+
+}  // namespace
+
+bool SpecMonitor::accepts(const Trace& trace) const {
+  DPOAF_CHECK_MSG(!trace.empty(),
+                  "spec monitors require a non-empty trace");
+  static obs::Counter& traces_c = obs::counter("monitor.traces_checked");
+  static obs::Counter& steps_c = obs::counter("monitor.steps");
+  traces_c.add();
+  steps_c.add(trace.size());
+  State s = initial_;
+  for (const Symbol sym : trace) s = step(s, sym);
+  return accepting(s);
+}
+
+MonitorPtr compile_monitor(const Ltl& formula) {
+  DPOAF_CHECK(formula != nullptr);
+  static obs::Counter& compilations = obs::counter("monitor.compilations");
+  static obs::Counter& fallbacks = obs::counter("monitor.compile_fallbacks");
+  obs::ScopedTimer timer(obs::histogram("monitor.compile_ns"));
+
+  const Ltl nnf = ltlf_nnf(formula);
+  std::set<unsigned> support_set;
+  collect_support(nnf, support_set);
+  if (support_set.size() > kMaxSupportProps) {
+    fallbacks.add();
+    return nullptr;
+  }
+
+  auto m = std::make_shared<SpecMonitor>();
+  m->support_.assign(support_set.begin(), support_set.end());
+  const std::size_t letters = std::size_t{1} << m->support_.size();
+  m->alphabet_ = letters;
+
+  // Concrete representative symbol per projected letter; propositions
+  // outside the support never occur in the formula, so their bits are
+  // irrelevant to every final/pd computation.
+  std::vector<Symbol> letter_sym(letters, 0);
+  for (std::size_t l = 0; l < letters; ++l)
+    for (std::size_t i = 0; i < m->support_.size(); ++i)
+      if ((l >> i) & 1U)
+        letter_sym[l] |= logic::Vocabulary::bit(
+            static_cast<int>(m->support_[i]));
+
+  // Per-(formula, letter) NFA expansion, memoized across subsets.
+  struct Expansion {
+    std::vector<Ltl> succ;  // deduped partial derivatives, sorted by id
+    bool final = false;
+  };
+  std::map<std::pair<std::uint64_t, std::size_t>, Expansion> expansions;
+  std::set<std::uint64_t> nfa_states;
+  const auto expand = [&](const Ltl& f, std::size_t l) -> const Expansion& {
+    const auto key = std::make_pair(f->id, l);
+    auto it = expansions.find(key);
+    if (it != expansions.end()) return it->second;
+    Expansion e;
+    e.final = final_at(f, letter_sym[l]);
+    std::vector<Ltl> raw;
+    partial_derivs(f, letter_sym[l], raw);
+    std::sort(raw.begin(), raw.end(),
+              [](const Ltl& a, const Ltl& b) { return a->id < b->id; });
+    for (const Ltl& g : raw) {
+      if (g->op == LtlOp::False) continue;  // empty language: dead branch
+      if (!e.succ.empty() && e.succ.back() == g) continue;
+      e.succ.push_back(g);
+      nfa_states.insert(g->id);
+    }
+    return expansions.emplace(key, std::move(e)).first->second;
+  };
+
+  // Subset construction, BFS from {nnf}. The initial state's flag is
+  // false: the empty prefix is never a satisfying trace (LTLf is defined
+  // over non-empty traces, matching evaluate_ltlf's contract).
+  std::vector<std::vector<Ltl>> sets;
+  std::vector<std::uint8_t> flags;
+  std::map<SubsetKey, std::uint32_t> index;
+  const auto state_for = [&](std::vector<Ltl> set, bool flag) {
+    SubsetKey key;
+    key.ids.reserve(set.size());
+    for (const Ltl& g : set) key.ids.push_back(g->id);
+    key.flag = flag;
+    const auto it = index.find(key);
+    if (it != index.end()) return it->second;
+    const auto id = static_cast<std::uint32_t>(sets.size());
+    index.emplace(std::move(key), id);
+    sets.push_back(std::move(set));
+    flags.push_back(flag ? 1 : 0);
+    return id;
+  };
+
+  std::vector<Ltl> start;
+  if (nnf->op != LtlOp::False) start.push_back(nnf);
+  nfa_states.insert(nnf->id);
+  state_for(std::move(start), false);
+
+  std::vector<std::uint32_t> table;
+  for (std::uint32_t s = 0; s < sets.size(); ++s) {
+    if ((static_cast<std::size_t>(s) + 1) * letters > kMaxTableEntries) {
+      fallbacks.add();
+      return nullptr;
+    }
+    table.resize((static_cast<std::size_t>(s) + 1) * letters);
+    for (std::size_t l = 0; l < letters; ++l) {
+      std::vector<Ltl> succ;
+      bool flag = false;
+      for (const Ltl& f : sets[s]) {
+        const Expansion& e = expand(f, l);
+        flag = flag || e.final;
+        succ.insert(succ.end(), e.succ.begin(), e.succ.end());
+      }
+      std::sort(succ.begin(), succ.end(),
+                [](const Ltl& a, const Ltl& b) { return a->id < b->id; });
+      succ.erase(std::unique(succ.begin(), succ.end()), succ.end());
+      table[s * letters + l] = state_for(std::move(succ), flag);
+    }
+  }
+
+  m->stats_.support_props = m->support_.size();
+  m->stats_.nfa_states = nfa_states.size();
+  m->stats_.dfa_states = sets.size();
+
+  // Minimize and renumber; block 0 contains pre-minimization state 0, so
+  // the initial state stays 0.
+  std::size_t blocks = 2;
+  const std::vector<std::uint32_t> block =
+      minimize(table, flags, letters, blocks);
+  m->state_count_ = blocks;
+  m->stats_.min_dfa_states = blocks;
+  m->initial_ = block[0];
+  m->table_.assign(blocks * letters, 0);
+  m->accepting_.assign(blocks, 0);
+  std::vector<bool> seen(blocks, false);
+  for (std::size_t s = 0; s < sets.size(); ++s) {
+    const std::uint32_t b = block[s];
+    if (seen[b]) continue;
+    seen[b] = true;
+    m->accepting_[b] = flags[s];
+    for (std::size_t l = 0; l < letters; ++l)
+      m->table_[b * letters + l] = block[table[s * letters + l]];
+  }
+
+  // Pre-pass facts. Acceptance is tracked per state, so emptiness is
+  // "no accepting state at all" and universality over Σ⁺ is "every
+  // transition lands in an accepting state" (the initial state itself is
+  // the empty prefix and does not count either way).
+  m->unsatisfiable_ =
+      std::find(m->accepting_.begin(), m->accepting_.end(), 1) ==
+      m->accepting_.end();
+  m->trivially_true_ = true;
+  for (const std::uint32_t target : m->table_)
+    if (!m->accepting_[target]) {
+      m->trivially_true_ = false;
+      break;
+    }
+
+  compilations.add();
+  obs::histogram("monitor.dfa_states").record(blocks);
+  return m;
+}
+
+namespace {
+
+std::atomic<bool> monitors_on{true};
+
+util::ShardedCache<std::uint64_t, MonitorPtr>& monitor_cache() {
+  static util::ShardedCache<std::uint64_t, MonitorPtr> cache(
+      /*capacity_per_shard=*/512, /*shards=*/16);
+  return cache;
+}
+
+}  // namespace
+
+MonitorPtr monitor_for(const Ltl& formula) {
+  DPOAF_CHECK(formula != nullptr);
+  if (!monitors_on.load(std::memory_order_relaxed)) return nullptr;
+  return monitor_cache().get_or_compute(
+      formula->id, [&] { return compile_monitor(formula); });
+}
+
+void set_monitors_enabled(bool enabled) {
+  monitors_on.store(enabled, std::memory_order_relaxed);
+}
+
+bool monitors_enabled() {
+  return monitors_on.load(std::memory_order_relaxed);
+}
+
+util::CacheStats monitor_cache_stats() { return monitor_cache().stats(); }
+
+void clear_monitor_cache() {
+  monitor_cache().clear();
+  monitor_cache().reset_stats();
+}
+
+SpecClass classify_spec(const Ltl& formula) {
+  static obs::Counter& unsat_c = obs::counter("monitor.prepass.unsat");
+  static obs::Counter& trivial_c = obs::counter("monitor.prepass.trivial");
+  static obs::Counter& normal_c = obs::counter("monitor.prepass.normal");
+  const MonitorPtr m = monitor_for(formula);
+  if (m == nullptr) {  // uncompilable: nothing can be concluded
+    normal_c.add();
+    return SpecClass::kNormal;
+  }
+  if (m->is_unsatisfiable()) {
+    unsat_c.add();
+    return SpecClass::kUnsatisfiable;
+  }
+  if (m->is_trivially_true()) {
+    trivial_c.add();
+    return SpecClass::kTriviallyTrue;
+  }
+  normal_c.add();
+  return SpecClass::kNormal;
+}
+
+SatisfactionCounts satisfaction_counts(const Ltl& formula,
+                                       const std::vector<Trace>& traces) {
+  SatisfactionCounts out;
+  if (traces.empty()) return out;
+  const MonitorPtr m = monitor_for(formula);
+  static obs::Counter& eval_fallback_c =
+      obs::counter("monitor.evaluator_fallback_traces");
+  for (const Trace& t : traces) {
+    if (t.empty()) {
+      ++out.skipped;
+      continue;
+    }
+    ++out.evaluated;
+    bool ok;
+    if (m != nullptr) {
+      ok = m->accepts(t);
+    } else {
+      eval_fallback_c.add();
+      ok = logic::evaluate_ltlf(formula, t);
+    }
+    if (ok) ++out.satisfied;
+  }
+  DPOAF_CHECK_MSG(out.evaluated > 0,
+                  "satisfaction over " + std::to_string(traces.size()) +
+                      " traces: every trace is empty — the simulator "
+                      "produced no steps");
+  return out;
+}
+
+}  // namespace dpoaf::monitor

@@ -1,0 +1,166 @@
+// Compiled LTLf spec monitors — the streaming half of the verification
+// hot path (ROADMAP item 3, homfa-style online monitoring). Each rulebook
+// specification is compiled *once* into a minimal DFA over the projection
+// of the `logic::Symbol` alphabet onto the formula's support propositions:
+//
+//     LTLf ──NNF──▶ NFA (Antimirov partial derivatives over the
+//                        hash-consed LtlNodes)
+//          ──subset construction──▶ DFA
+//          ──Moore partition refinement──▶ minimal DFA
+//
+// after which checking a simulator trace is one transition-table lookup
+// per step and one accepting-bit lookup at the end — verdict-identical to
+// `logic::evaluate_ltlf` (enforced by tests/test_monitor.cpp), but
+// amortized across the millions of (candidate, spec, trace) checks the
+// feedback loop performs. The Büchi/nested-product path in
+// `src/modelcheck` remains the infinite-trace channel; this subsystem
+// only ever sees finite traces. See docs/VERIFICATION.md.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "logic/ltl.hpp"
+#include "logic/ltlf.hpp"
+#include "util/cache.hpp"
+
+namespace dpoaf::monitor {
+
+using logic::Ltl;
+using logic::Symbol;
+using logic::Trace;
+
+/// Construction-size record of one compilation, kept on the monitor for
+/// the obs layer and the micro benches.
+struct MonitorStats {
+  std::size_t support_props = 0;   // distinct propositions in the formula
+  std::size_t nfa_states = 0;      // Antimirov partial-derivative states
+  std::size_t dfa_states = 0;      // after subset construction
+  std::size_t min_dfa_states = 0;  // after minimization (== state_count())
+};
+
+/// An executable finite-trace acceptor for one specification. Immutable
+/// after compilation; sharing one instance across threads is safe.
+class SpecMonitor {
+ public:
+  using State = std::uint32_t;
+
+  [[nodiscard]] State initial() const { return initial_; }
+
+  /// One streaming step: the successor state after reading `sym`.
+  [[nodiscard]] State step(State s, Symbol sym) const {
+    return table_[static_cast<std::size_t>(s) * alphabet_ + project(sym)];
+  }
+
+  /// Whether the trace consumed so far (non-empty) satisfies the spec.
+  [[nodiscard]] bool accepting(State s) const { return accepting_[s] != 0; }
+
+  /// Full-trace verdict; requires a non-empty trace (same contract as
+  /// `logic::evaluate_ltlf`).
+  [[nodiscard]] bool accepts(const Trace& trace) const;
+
+  /// L(spec) ∩ Σ⁺ is empty: no finite trace can satisfy the spec.
+  [[nodiscard]] bool is_unsatisfiable() const { return unsatisfiable_; }
+  /// Every non-empty finite trace satisfies the spec.
+  [[nodiscard]] bool is_trivially_true() const { return trivially_true_; }
+
+  [[nodiscard]] std::size_t state_count() const { return state_count_; }
+  /// 2^support_props — the projected alphabet the table is indexed by.
+  [[nodiscard]] std::size_t alphabet_size() const { return alphabet_; }
+  [[nodiscard]] const MonitorStats& stats() const { return stats_; }
+
+ private:
+  friend std::shared_ptr<const SpecMonitor> compile_monitor(const Ltl&);
+
+  /// Gather the support bits of `sym` into a dense table index.
+  [[nodiscard]] std::uint32_t project(Symbol sym) const {
+    std::uint32_t idx = 0;
+    for (std::size_t i = 0; i < support_.size(); ++i)
+      idx |= static_cast<std::uint32_t>((sym >> support_[i]) & 1U) << i;
+    return idx;
+  }
+
+  std::vector<unsigned> support_;  // ascending proposition indices
+  std::vector<State> table_;       // state-major: [state * alphabet_ + letter]
+  std::vector<std::uint8_t> accepting_;
+  State initial_ = 0;
+  std::size_t state_count_ = 0;
+  std::size_t alphabet_ = 1;
+  bool unsatisfiable_ = false;
+  bool trivially_true_ = false;
+  MonitorStats stats_;
+};
+
+using MonitorPtr = std::shared_ptr<const SpecMonitor>;
+
+/// Hard limits that keep one pathological generated spec from exploding
+/// the compile step: monitors are only built when the formula mentions at
+/// most kMaxSupportProps distinct propositions and the DFA transition
+/// table stays under kMaxTableEntries entries. Past either limit,
+/// compile_monitor returns nullptr and callers fall back to the tree
+/// evaluator (counted in `monitor.compile_fallbacks`).
+inline constexpr std::size_t kMaxSupportProps = 16;
+inline constexpr std::size_t kMaxTableEntries = std::size_t{1} << 22;
+
+/// Compile `formula` into a minimal DFA monitor. Pure and uncached — the
+/// hot path goes through monitor_for(). Returns nullptr when the formula
+/// exceeds the construction limits above.
+MonitorPtr compile_monitor(const Ltl& formula);
+
+/// Memoized compilation, keyed by hash-consed formula identity (like
+/// modelcheck::ltl_to_buchi_cached): one compile per distinct spec per
+/// process, then shared-pointer hits from a util::ShardedCache. Returns
+/// nullptr — routing callers to the tree evaluator — when monitors are
+/// disabled (set_monitors_enabled) or the formula is uncompilable.
+MonitorPtr monitor_for(const Ltl& formula);
+
+/// Master switch (default on). Off makes monitor_for return nullptr so
+/// every caller falls back to `logic::evaluate_ltlf`; the equivalence
+/// tests and the evaluator-vs-monitor bench sweep flip this.
+void set_monitors_enabled(bool enabled);
+[[nodiscard]] bool monitors_enabled();
+
+/// Counters of the process-wide compilation cache.
+[[nodiscard]] util::CacheStats monitor_cache_stats();
+void clear_monitor_cache();  // drops entries and resets the counters
+
+/// Satisfiability/triviality pre-pass verdict for one spec under
+/// finite-trace semantics (docs/VERIFICATION.md "Rulebook pre-pass").
+enum class SpecClass {
+  kNormal,         // satisfiable and falsifiable — a real constraint
+  kUnsatisfiable,  // no finite trace satisfies it (contradiction)
+  kTriviallyTrue,  // every finite trace satisfies it (tautology)
+};
+
+/// Classify via the compiled DFA: emptiness ⇒ kUnsatisfiable,
+/// universality over Σ⁺ ⇒ kTriviallyTrue. Conservatively kNormal when
+/// the formula is uncompilable. Used to reject degenerate specs before
+/// they enter a rulebook (DrivingDomain CHECKs the shipped 15; the
+/// procedural generator of ROADMAP item 4 filters with it).
+[[nodiscard]] SpecClass classify_spec(const Ltl& formula);
+
+/// Counts behind a satisfaction-rate computation. Empty traces carry no
+/// step to evaluate, so they are skipped, never counted as violations.
+struct SatisfactionCounts {
+  std::size_t satisfied = 0;
+  std::size_t evaluated = 0;  // non-empty traces checked
+  std::size_t skipped = 0;    // empty traces excluded from the denominator
+
+  /// satisfied / evaluated; 0 when nothing was evaluated.
+  [[nodiscard]] double rate() const {
+    return evaluated == 0 ? 0.0
+                          : static_cast<double>(satisfied) /
+                                static_cast<double>(evaluated);
+  }
+};
+
+/// Monitor-backed satisfaction rate: streams every non-empty trace
+/// through the cached monitor (tree-evaluator fallback when unavailable).
+/// Verdict-identical to evaluating `logic::evaluate_ltlf` per trace.
+/// CHECKs when `traces` is non-empty but every trace is empty — that is a
+/// simulator bug, not a 0% satisfaction rate.
+SatisfactionCounts satisfaction_counts(const Ltl& formula,
+                                       const std::vector<Trace>& traces);
+
+}  // namespace dpoaf::monitor

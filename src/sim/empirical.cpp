@@ -1,5 +1,7 @@
 #include "sim/empirical.hpp"
 
+#include "monitor/monitor.hpp"
+#include "obs/metrics.hpp"
 #include "util/check.hpp"
 
 namespace dpoaf::sim {
@@ -22,14 +24,24 @@ EmpiricalReport empirical_evaluation(const Simulator& simulator,
                                      const FsaController& controller,
                                      const std::vector<NamedSpec>& specs,
                                      int rollouts, Rng& rng) {
+  static obs::Counter& evals_c = obs::counter("sim.empirical.evaluations");
+  evals_c.add();
   const std::vector<logic::Trace> traces =
       simulator.collect_traces(controller, rollouts, rng);
   EmpiricalReport report;
   report.rollouts = rollouts;
+  for (const logic::Trace& t : traces)
+    if (t.empty()) ++report.skipped_traces;
   report.per_spec.reserve(specs.size());
+  // Per-spec streaming check through the compiled-monitor cache: the
+  // first evaluation of a spec pays one LTLf→DFA compile, every later
+  // one is a shared-pointer cache hit plus |trace| table lookups per
+  // trace. monitor::satisfaction_counts falls back to the tree evaluator
+  // (verdict-identically) when monitors are disabled or the spec is
+  // uncompilable, and CHECKs when every trace is empty.
   for (const NamedSpec& spec : specs) {
-    report.per_spec.push_back(
-        {spec.name, logic::satisfaction_rate(spec.formula, traces)});
+    const auto counts = monitor::satisfaction_counts(spec.formula, traces);
+    report.per_spec.push_back({spec.name, counts.rate()});
   }
   return report;
 }

@@ -24,13 +24,21 @@ struct SpecSatisfaction {
 struct EmpiricalReport {
   std::vector<SpecSatisfaction> per_spec;
   int rollouts = 0;
+  /// Rollouts that produced an *empty* trace. These carry no step to
+  /// evaluate, so they are excluded from every per-spec denominator
+  /// instead of silently counting as violations; a run where every
+  /// rollout is empty CHECKs (that is a simulator bug, not a 0% P_Φ).
+  int skipped_traces = 0;
 
   [[nodiscard]] double mean_probability() const;
   [[nodiscard]] double probability_of(const std::string& spec_name) const;
 };
 
 /// Run `rollouts` simulations of `controller` and evaluate every spec on
-/// every trace.
+/// every trace, streaming each trace through the spec's compiled DFA
+/// monitor (monitor::monitor_for cache; see docs/VERIFICATION.md). The
+/// report is byte-identical whether monitors are enabled or the LTLf
+/// tree evaluator runs — tests/test_monitor.cpp enforces it.
 EmpiricalReport empirical_evaluation(const Simulator& simulator,
                                      const FsaController& controller,
                                      const std::vector<NamedSpec>& specs,

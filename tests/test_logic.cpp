@@ -208,8 +208,41 @@ TEST_F(LtlfTest, SatisfactionRateCountsFractions) {
   EXPECT_EQ(satisfaction_rate(f, {}), 0.0);
 }
 
+TEST_F(LtlfTest, SatisfactionRateExcludesEmptyTraces) {
+  // An empty rollout carries no step to evaluate; it must leave the
+  // denominator, not count as a violation. 2 satisfied / 3 evaluated.
+  const Ltl f = parse_ltl("F stop", vocab_);
+  std::vector<Trace> traces{
+      {sym({"stop"})}, {Symbol{0}}, {Symbol{0}, sym({"stop"})}, {}};
+  EXPECT_NEAR(satisfaction_rate(f, traces), 2.0 / 3.0, 1e-12);
+}
+
+TEST_F(LtlfTest, SatisfactionRateAllEmptyTracesThrows) {
+  const Ltl f = parse_ltl("F stop", vocab_);
+  const std::vector<Trace> all_empty{{}, {}, {}};
+  EXPECT_THROW((void)satisfaction_rate(f, all_empty), ContractViolation);
+}
+
 TEST_F(LtlfTest, EmptyTraceRejected) {
   EXPECT_THROW(evaluate_ltlf(ltrue(), Trace{}), ContractViolation);
+}
+
+// Regression for the memo-key collision: the evaluator's cache used to
+// flatten (node id, position) into `id * 1000003 + pos`, so formulas with
+// consecutive interning ids collide at positions 1,000,003 apart —
+// (a, 1000003) and (b, 0) share a key, and F b silently inherits F a's
+// cached sub-verdict. With a true only at position 1,000,003 and b never
+// true, the colliding scheme answered true for F a & F b; the correct
+// verdict is false.
+TEST_F(LtlfTest, MemoKeyCollisionOnMillionStepTrace) {
+  const Ltl pa = prop(40);  // fresh, unused prop indices so the two nodes
+  const Ltl pb = prop(41);  // are interned back-to-back
+  ASSERT_EQ(pb->id, pa->id + 1)
+      << "collision setup needs consecutive interning ids";
+  const Ltl f = land(eventually(pa), eventually(pb));
+  Trace t(1000004, Symbol{0});
+  t[1000003] = Symbol{1} << 40;  // a holds only here; b never holds
+  EXPECT_FALSE(evaluate_ltlf(f, t));
 }
 
 // ----------------------------------------------------------- lasso LTL ---

@@ -1,0 +1,374 @@
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "driving/domain.hpp"
+#include "logic/parser.hpp"
+#include "monitor/monitor.hpp"
+#include "sim/empirical.hpp"
+#include "sim/simulator.hpp"
+#include "util/check.hpp"
+#include "util/rng.hpp"
+
+namespace dpoaf::monitor {
+namespace {
+
+using namespace dpoaf::logic::ltl;
+using driving::DrivingDomain;
+using driving::ScenarioId;
+using logic::Vocabulary;
+using logic::evaluate_ltlf;
+using logic::parse_ltl;
+
+// Restores the monitors-enabled master switch even when a test fails.
+struct MonitorToggle {
+  explicit MonitorToggle(bool enabled) : previous_(monitors_enabled()) {
+    set_monitors_enabled(enabled);
+  }
+  ~MonitorToggle() { set_monitors_enabled(previous_); }
+  bool previous_;
+};
+
+class MonitorTest : public ::testing::Test {
+ protected:
+  MonitorTest() : vocab_(logic::make_driving_vocabulary()) {}
+
+  Symbol sym(std::initializer_list<std::string_view> names) {
+    return vocab_.make_symbol(names);
+  }
+
+  Ltl parse(const char* text) { return parse_ltl(text, vocab_); }
+
+  logic::Vocabulary vocab_;
+};
+
+// ------------------------------------------ finite-trace operator table ---
+//
+// Each row pins the expected verdict at a semantic boundary (length-1
+// traces, strong Next at the last position, vacuous Release, …) and is
+// asserted identically against the tree evaluator AND the compiled
+// monitor — the two engines must agree with the table and each other.
+
+struct BoundaryCase {
+  const char* name;
+  const char* formula;
+  std::vector<std::vector<std::string_view>> trace;  // prop names per step
+  bool expected;
+};
+
+const BoundaryCase kBoundaryCases[] = {
+    {"next_strong_at_last", "X stop", {{"stop"}}, false},
+    {"next_holds_one_before_last", "X stop", {{}, {"stop"}}, true},
+    {"double_next_needs_three_steps", "X X stop", {{}, {"stop"}}, false},
+    {"double_next_at_third_step", "X X stop", {{}, {}, {"stop"}}, true},
+    {"always_on_length_one", "G stop", {{"stop"}}, true},
+    {"always_fails_on_length_one", "G stop", {{}}, false},
+    {"always_of_next_truncates", "G (stop -> X stop)", {{"stop"}}, false},
+    {"eventually_on_length_one", "F stop", {{}}, false},
+    {"eventually_at_last_position", "F stop", {{}, {}, {"stop"}}, true},
+    {"until_witness_at_first", "stop U green_traffic_light",
+     {{"green_traffic_light"}}, true},
+    {"until_without_witness", "stop U green_traffic_light",
+     {{"stop"}, {"stop"}}, false},
+    {"until_gap_before_witness", "stop U green_traffic_light",
+     {{"stop"}, {}, {"green_traffic_light"}}, false},
+    {"release_vacuous_to_end", "green_traffic_light R stop",
+     {{"stop"}, {"stop"}}, true},
+    {"release_discharged_at_first", "green_traffic_light R stop",
+     {{"stop", "green_traffic_light"}, {}}, true},
+    {"release_fails_on_length_one", "green_traffic_light R stop", {{}},
+     false},
+    {"release_psi_gap", "green_traffic_light R stop",
+     {{"stop"}, {}, {"stop"}}, false},
+    {"implication_spec_satisfied", "G (pedestrian_in_front -> F stop)",
+     {{"pedestrian_in_front"}, {"stop"}}, true},
+    {"implication_spec_violated", "G (pedestrian_in_front -> F stop)",
+     {{"pedestrian_in_front"}, {"go_straight"}}, false},
+};
+
+TEST_F(MonitorTest, BoundarySemanticsTableMatchesBothEngines) {
+  for (const BoundaryCase& c : kBoundaryCases) {
+    const Ltl f = parse(c.formula);
+    Trace trace;
+    for (const auto& step : c.trace) {
+      Symbol s = 0;
+      for (const std::string_view name : step)
+        s |= Vocabulary::bit(*vocab_.find(name));
+      trace.push_back(s);
+    }
+    EXPECT_EQ(evaluate_ltlf(f, trace), c.expected) << "evaluator: " << c.name;
+    const MonitorPtr m = compile_monitor(f);
+    ASSERT_NE(m, nullptr) << c.name;
+    EXPECT_EQ(m->accepts(trace), c.expected) << "monitor: " << c.name;
+    // The streaming interface agrees with the batch verdict.
+    SpecMonitor::State s = m->initial();
+    for (const Symbol symb : trace) s = m->step(s, symb);
+    EXPECT_EQ(m->accepting(s), c.expected) << "streaming: " << c.name;
+  }
+}
+
+TEST_F(MonitorTest, MonitorRejectsEmptyTrace) {
+  const MonitorPtr m = compile_monitor(parse("F stop"));
+  ASSERT_NE(m, nullptr);
+  EXPECT_THROW((void)m->accepts(Trace{}), ContractViolation);
+}
+
+// ----------------------------------------------- property: equivalence ---
+
+TEST_F(MonitorTest, PropertyMonitorMatchesEvaluatorOnRandomFormulas) {
+  Rng rng(4242);
+  const int a = *vocab_.find("green_traffic_light");
+  const int b = *vocab_.find("car_from_left");
+  const int c = *vocab_.find("stop");
+  const std::vector<Ltl> atoms{prop(a), prop(b), prop(c)};
+  std::function<Ltl(int)> gen = [&](int depth) -> Ltl {
+    if (depth == 0 || rng.chance(0.3)) return atoms[rng.below(atoms.size())];
+    switch (rng.below(9)) {
+      case 0: return lnot(gen(depth - 1));
+      case 1: return land(gen(depth - 1), gen(depth - 1));
+      case 2: return lor(gen(depth - 1), gen(depth - 1));
+      case 3: return implies(gen(depth - 1), gen(depth - 1));
+      case 4: return next(gen(depth - 1));
+      case 5: return eventually(gen(depth - 1));
+      case 6: return always(gen(depth - 1));
+      case 7: return until(gen(depth - 1), gen(depth - 1));
+      default: return release(gen(depth - 1), gen(depth - 1));
+    }
+  };
+  const Symbol bits[] = {Vocabulary::bit(a), Vocabulary::bit(b),
+                         Vocabulary::bit(c)};
+  for (int trial = 0; trial < 300; ++trial) {
+    const Ltl f = gen(4);
+    const MonitorPtr m = compile_monitor(f);
+    ASSERT_NE(m, nullptr) << to_string(f, vocab_);
+    for (int t = 0; t < 5; ++t) {
+      Trace trace(1 + rng.below(8), 0);
+      for (Symbol& s : trace)
+        for (const Symbol bit : bits)
+          if (rng.chance(0.5)) s |= bit;
+      ASSERT_EQ(m->accepts(trace), evaluate_ltlf(f, trace))
+          << "trial " << trial << ": " << to_string(f, vocab_);
+    }
+  }
+}
+
+// ------------------------------------------------- construction & stats ---
+
+TEST_F(MonitorTest, CompileStatsAreConsistent) {
+  const MonitorPtr m = compile_monitor(parse("G (pedestrian_in_front -> F stop)"));
+  ASSERT_NE(m, nullptr);
+  EXPECT_EQ(m->stats().support_props, 2u);
+  EXPECT_EQ(m->alphabet_size(), 4u);
+  EXPECT_GE(m->stats().nfa_states, 1u);
+  EXPECT_LE(m->stats().min_dfa_states, m->stats().dfa_states);
+  EXPECT_EQ(m->state_count(), m->stats().min_dfa_states);
+  EXPECT_FALSE(m->is_unsatisfiable());
+  EXPECT_FALSE(m->is_trivially_true());
+}
+
+TEST_F(MonitorTest, MinimizationCollapsesRedundantStructure) {
+  // (F stop) | (F stop & F stop) recognizes the same language as F stop;
+  // the minimal automata must have identical state counts.
+  const Ltl plain = parse("F stop");
+  const Ltl bloated = lor(eventually(prop(*vocab_.find("stop"))),
+                          land(eventually(prop(*vocab_.find("stop"))),
+                               eventually(prop(*vocab_.find("stop")))));
+  const MonitorPtr m1 = compile_monitor(plain);
+  const MonitorPtr m2 = compile_monitor(bloated);
+  ASSERT_NE(m1, nullptr);
+  ASSERT_NE(m2, nullptr);
+  EXPECT_EQ(m1->state_count(), m2->state_count());
+}
+
+TEST_F(MonitorTest, SupportLimitFallsBackToNullptr) {
+  // 17 distinct propositions exceeds kMaxSupportProps == 16.
+  std::vector<Ltl> atoms;
+  for (int i = 0; i < 17; ++i) atoms.push_back(prop(i));
+  const Ltl wide = lor_all(atoms);
+  EXPECT_EQ(compile_monitor(wide), nullptr);
+  // The satisfaction path still answers through the tree evaluator.
+  const Trace t{Symbol{1} << 3};
+  const auto counts = satisfaction_counts(wide, {t});
+  EXPECT_EQ(counts.evaluated, 1u);
+  EXPECT_EQ(counts.satisfied, 1u);
+}
+
+// ----------------------------------------------------------- pre-pass ---
+
+TEST_F(MonitorTest, ClassifySpecDetectsDegenerateFormulas) {
+  const int stop = *vocab_.find("stop");
+  EXPECT_EQ(classify_spec(land(prop(stop), lnot(prop(stop)))),
+            SpecClass::kUnsatisfiable);
+  EXPECT_EQ(classify_spec(lfalse()), SpecClass::kUnsatisfiable);
+  EXPECT_EQ(classify_spec(lor(prop(stop), lnot(prop(stop)))),
+            SpecClass::kTriviallyTrue);
+  EXPECT_EQ(classify_spec(ltrue()), SpecClass::kTriviallyTrue);
+  EXPECT_EQ(classify_spec(always(ltrue())), SpecClass::kTriviallyTrue);
+  EXPECT_EQ(classify_spec(parse("F stop")), SpecClass::kNormal);
+  EXPECT_EQ(classify_spec(parse("G stop")), SpecClass::kNormal);
+  EXPECT_EQ(classify_spec(parse("X stop")), SpecClass::kNormal);
+}
+
+TEST_F(MonitorTest, ShippedRulebookPassesPrePass) {
+  const DrivingDomain domain;  // the ctor itself CHECKs the pre-pass
+  for (const auto& spec : domain.specs())
+    EXPECT_EQ(classify_spec(spec.formula), SpecClass::kNormal) << spec.name;
+}
+
+// ------------------------------------------------- satisfaction counts ---
+
+TEST_F(MonitorTest, SatisfactionCountsSkipEmptyTraces) {
+  const Ltl f = parse("F stop");
+  const std::vector<Trace> traces{
+      {sym({"stop"})}, {}, {Symbol{0}}, {}, {Symbol{0}, sym({"stop"})}};
+  const auto counts = satisfaction_counts(f, traces);
+  EXPECT_EQ(counts.satisfied, 2u);
+  EXPECT_EQ(counts.evaluated, 3u);
+  EXPECT_EQ(counts.skipped, 2u);
+  EXPECT_NEAR(counts.rate(), 2.0 / 3.0, 1e-12);
+}
+
+TEST_F(MonitorTest, SatisfactionCountsEmptyInputIsZero) {
+  const auto counts = satisfaction_counts(parse("F stop"), {});
+  EXPECT_EQ(counts.evaluated, 0u);
+  EXPECT_EQ(counts.rate(), 0.0);
+}
+
+TEST_F(MonitorTest, SatisfactionCountsAllEmptyTracesThrow) {
+  EXPECT_THROW((void)satisfaction_counts(parse("F stop"), {{}, {}, {}}),
+               ContractViolation);
+}
+
+TEST_F(MonitorTest, SatisfactionCountsMatchEvaluatorFallback) {
+  const Ltl f = parse("G (pedestrian_in_front -> F stop)");
+  std::vector<Trace> traces;
+  Rng rng(99);
+  for (int i = 0; i < 50; ++i) {
+    Trace t(1 + rng.below(12), 0);
+    for (Symbol& s : t) {
+      if (rng.chance(0.4)) s |= sym({"pedestrian_in_front"});
+      if (rng.chance(0.4)) s |= sym({"stop"});
+    }
+    traces.push_back(std::move(t));
+  }
+  SatisfactionCounts with_monitor, with_evaluator;
+  {
+    MonitorToggle on(true);
+    with_monitor = satisfaction_counts(f, traces);
+  }
+  {
+    MonitorToggle off(false);
+    with_evaluator = satisfaction_counts(f, traces);
+  }
+  EXPECT_EQ(with_monitor.satisfied, with_evaluator.satisfied);
+  EXPECT_EQ(with_monitor.evaluated, with_evaluator.evaluated);
+  EXPECT_EQ(with_monitor.skipped, with_evaluator.skipped);
+}
+
+// ---------------------------------------------------------------- cache ---
+
+TEST_F(MonitorTest, MonitorForCachesByFormulaIdentity) {
+  clear_monitor_cache();
+  const Ltl f = parse("G (car_from_left -> X stop)");
+  const MonitorPtr first = monitor_for(f);
+  const MonitorPtr second = monitor_for(f);
+  ASSERT_NE(first, nullptr);
+  EXPECT_EQ(first.get(), second.get());  // shared, compiled once
+  const auto stats = monitor_cache_stats();
+  EXPECT_GE(stats.hits, 1u);
+  EXPECT_GE(stats.misses, 1u);
+}
+
+TEST_F(MonitorTest, DisabledMonitorsBypassCache) {
+  MonitorToggle off(false);
+  EXPECT_EQ(monitor_for(parse("F stop")), nullptr);
+}
+
+// Exercised under TSan in CI (DPOAF_THREADS=4 matrix): concurrent lookups
+// of the same specs must race only inside the sharded cache's locks and
+// end up sharing one immutable monitor per formula.
+TEST_F(MonitorTest, ConcurrentMonitorLookupsShareOneCompile) {
+  clear_monitor_cache();
+  const std::vector<Ltl> specs{
+      parse("G (pedestrian_in_front -> F stop)"),
+      parse("stop U green_traffic_light"),
+      parse("G (car_from_left -> X stop)"),
+      parse("F go_straight"),
+  };
+  const Trace trace{sym({"pedestrian_in_front"}), sym({"stop"}),
+                    sym({"green_traffic_light", "go_straight"})};
+  constexpr int kThreads = 4;
+  std::vector<std::vector<const SpecMonitor*>> seen(kThreads);
+  std::vector<std::thread> workers;
+  for (int w = 0; w < kThreads; ++w) {
+    workers.emplace_back([&, w] {
+      for (int round = 0; round < 50; ++round) {
+        for (const Ltl& f : specs) {
+          const MonitorPtr m = monitor_for(f);
+          if (round == 0) seen[w].push_back(m.get());
+          (void)m->accepts(trace);
+        }
+      }
+    });
+  }
+  for (std::thread& t : workers) t.join();
+  for (int w = 1; w < kThreads; ++w) EXPECT_EQ(seen[w], seen[0]);
+}
+
+// -------------------------------------- empirical-report equivalence ---
+//
+// The tentpole's proof obligation: for every shipped scenario, the full
+// rulebook, and several seeds, the EmpiricalReport produced through the
+// compiled monitors is identical (exact doubles, same skip counts) to the
+// one produced by the tree evaluator.
+
+TEST_F(MonitorTest, EmpiricalReportsIdenticalMonitorVsEvaluator) {
+  const DrivingDomain domain;
+  auto g2f = glm2fsa::glm2fsa(driving::paper_right_turn_after(),
+                              domain.aligner(), domain.build_options());
+  ASSERT_TRUE(g2f.parsed.ok());
+  const sim::FsaController controller = g2f.controller;
+
+  sim::SimulatorConfig cfg;
+  cfg.horizon = 20;
+  cfg.perception_noise = 0.1;  // noise exercises more of the DFA
+  cfg.noise_mask = domain.vocab().env_mask();
+  cfg.epsilon_label = domain.stop_action();
+
+  for (const ScenarioId scenario : driving::all_scenarios()) {
+    sim::Simulator simulator(domain.model(scenario), cfg);
+    for (const std::uint64_t seed : {11u, 22u, 33u}) {
+      sim::EmpiricalReport with_monitor, with_evaluator;
+      {
+        MonitorToggle on(true);
+        Rng rng(seed);
+        with_monitor = sim::empirical_evaluation(simulator, controller,
+                                                 domain.specs(), 40, rng);
+      }
+      {
+        MonitorToggle off(false);
+        Rng rng(seed);
+        with_evaluator = sim::empirical_evaluation(simulator, controller,
+                                                   domain.specs(), 40, rng);
+      }
+      ASSERT_EQ(with_monitor.per_spec.size(), with_evaluator.per_spec.size());
+      EXPECT_EQ(with_monitor.rollouts, with_evaluator.rollouts);
+      EXPECT_EQ(with_monitor.skipped_traces, with_evaluator.skipped_traces);
+      for (std::size_t i = 0; i < with_monitor.per_spec.size(); ++i) {
+        EXPECT_EQ(with_monitor.per_spec[i].spec_name,
+                  with_evaluator.per_spec[i].spec_name);
+        // Exact equality: both sides divide identical integer counts.
+        EXPECT_EQ(with_monitor.per_spec[i].probability,
+                  with_evaluator.per_spec[i].probability)
+            << driving::scenario_name(scenario) << " seed " << seed << " "
+            << with_monitor.per_spec[i].spec_name;
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace dpoaf::monitor

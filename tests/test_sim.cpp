@@ -165,6 +165,25 @@ TEST_F(SimTest, ViolatingControllerShowsInEmpiricalEvaluation) {
             empirical.probability_of("phi_5"));
 }
 
+TEST_F(SimTest, EmpiricalAllEmptyRolloutsThrow) {
+  // horizon = 0 makes every rollout empty; that is a simulator bug, not a
+  // 0% satisfaction rate, so the evaluation CHECKs instead of reporting.
+  Simulator sim(domain().model(ScenarioId::TrafficLight), noiseless(0));
+  Rng rng(23);
+  EXPECT_THROW((void)empirical_evaluation(sim, after_controller(),
+                                          domain().specs(), 10, rng),
+               ContractViolation);
+}
+
+TEST_F(SimTest, EmpiricalReportCountsNoSkippedTracesAtPositiveHorizon) {
+  Simulator sim(domain().model(ScenarioId::TrafficLight), noiseless(10));
+  Rng rng(29);
+  const auto report = empirical_evaluation(
+      sim, after_controller(), driving::rulebook_head(domain().vocab()), 20,
+      rng);
+  EXPECT_EQ(report.skipped_traces, 0);
+}
+
 TEST_F(SimTest, EmpiricalReportHelpers) {
   const auto& model = domain().model(ScenarioId::TrafficLight);
   Simulator sim(model, noiseless(10));
