@@ -13,6 +13,14 @@
 //
 // Usage: serve_demo [--requests N] [--slots N] [--threads N] [--seed N]
 //                   [--arrival-us N] [--max-new N] [--latency-out PATH]
+//                   [--kv-block N] [--preamble N] [--no-prefix]
+//
+// Half the trace shares a scenario preamble of --preamble tokens, so the
+// paged KV cache's prefix sharing engages; --kv-block sets the block size
+// (outputs are byte-identical at any value — CI diffs runs across
+// {1, 8, 64}) and --no-prefix disables sharing (same outputs, more
+// prefill). Cache telemetry is wall-clock/timing dependent and therefore
+// printed with the latency table, never on stdout.
 #include <algorithm>
 #include <chrono>
 #include <cstdint>
@@ -53,6 +61,9 @@ int main(int argc, char** argv) {
   std::uint64_t seed = 7;
   int arrival_us = 2000;
   int max_new = 24;
+  int kv_block = 16;
+  int preamble_len = 12;
+  bool prefix_sharing = true;
   std::string latency_out;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -64,6 +75,10 @@ int main(int argc, char** argv) {
     if (arg == "--arrival-us" && i + 1 < argc)
       arrival_us = std::atoi(argv[i + 1]);
     if (arg == "--max-new" && i + 1 < argc) max_new = std::atoi(argv[i + 1]);
+    if (arg == "--kv-block" && i + 1 < argc) kv_block = std::atoi(argv[i + 1]);
+    if (arg == "--preamble" && i + 1 < argc)
+      preamble_len = std::atoi(argv[i + 1]);
+    if (arg == "--no-prefix") prefix_sharing = false;
     if (arg == "--latency-out" && i + 1 < argc) latency_out = argv[i + 1];
   }
 
@@ -84,17 +99,28 @@ int main(int argc, char** argv) {
   scfg.queue_capacity = std::max(64, requests);
   scfg.deterministic = true;
   scfg.seed = seed;
+  scfg.kv_block_tokens = kv_block;
+  scfg.prefix_sharing = prefix_sharing;
   serve::GenerationService service(model, scfg);
 
   // Build the trace up front so request contents never depend on timing.
+  // Even-indexed requests open with a shared scenario preamble — the
+  // prefix tree caches its KV blocks once and later arrivals adopt them.
   Rng trace_rng(seed + 1);
+  std::vector<int> preamble(static_cast<std::size_t>(
+      std::max(0, std::min(preamble_len, static_cast<int>(mcfg.max_seq) -
+                                             (max_new > 0 ? max_new : 1) -
+                                             9))));
+  for (auto& t : preamble)
+    t = static_cast<int>(trace_rng.below(mcfg.vocab_size));
   std::vector<serve::GenerateRequest> trace;
   trace.reserve(static_cast<std::size_t>(requests));
   for (int i = 0; i < requests; ++i) {
     serve::GenerateRequest req;
-    req.prompt.resize(1 + trace_rng.below(8));
-    for (auto& t : req.prompt)
-      t = static_cast<int>(trace_rng.below(mcfg.vocab_size));
+    if (i % 2 == 0) req.prompt = preamble;
+    const std::size_t suffix = 1 + trace_rng.below(8);
+    for (std::size_t j = 0; j < suffix; ++j)
+      req.prompt.push_back(static_cast<int>(trace_rng.below(mcfg.vocab_size)));
     req.max_new_tokens = max_new;
     req.temperature = 0.9f;
     req.top_k = 6;
@@ -153,6 +179,18 @@ int main(int argc, char** argv) {
   add_stage("queue", queue_ms);
   add_stage("ttft", ttft_ms);
   add_stage("total", total_ms);
+  // Paged-KV telemetry rides with the latency table: hit counts depend on
+  // admission timing, so they stay off the byte-diffed stdout.
+  TextTable cache("paged kv cache");
+  cache.set_header({"metric", "value"});
+  cache.add_row({"blocks total", std::to_string(stats.blocks_total)});
+  cache.add_row({"blocks free", std::to_string(stats.blocks_free)});
+  cache.add_row({"prefix hits", std::to_string(stats.prefix_hits)});
+  cache.add_row(
+      {"prefix tokens reused", std::to_string(stats.prefix_tokens_reused)});
+  cache.add_row({"prefill steps", std::to_string(stats.prefill_steps)});
+  cache.add_row({"cow copies", std::to_string(stats.cow_copies)});
+  cache.add_row({"evicted blocks", std::to_string(stats.evicted_blocks)});
   if (!latency_out.empty()) {
     std::ofstream out(latency_out);
     if (!out) {
@@ -160,8 +198,10 @@ int main(int argc, char** argv) {
       return 1;
     }
     table.print(out);
+    cache.print(out);
   } else {
     table.print(std::cerr);
+    cache.print(std::cerr);
   }
   return 0;
 }

@@ -8,6 +8,10 @@
 
 namespace dpoaf::nn {
 
+namespace {
+constexpr std::int64_t kDefaultBlockTokens = 16;
+}  // namespace
+
 int sample_token(const float* logits, std::int64_t vocab, float temperature,
                  int top_k, Rng& rng) {
   DPOAF_CHECK(temperature > 0.0f);
@@ -100,26 +104,52 @@ float gelu_scalar(float x) {
 
 }  // namespace
 
-DecodeSession::DecodeSession(const TinyGpt& model) : model_(model) {
+DecodeSession::DecodeSession(const TinyGpt& model, KvBlockPool* pool,
+                             std::int64_t block_tokens)
+    : model_(model) {
   const auto& cfg = model_.config();
-  k_cache_.resize(static_cast<std::size_t>(cfg.n_layers));
-  v_cache_.resize(static_cast<std::size_t>(cfg.n_layers));
-  for (auto& c : k_cache_)
-    c.reserve(static_cast<std::size_t>(cfg.max_seq * cfg.d_model));
-  for (auto& c : v_cache_)
-    c.reserve(static_cast<std::size_t>(cfg.max_seq * cfg.d_model));
+  if (pool != nullptr) {
+    pool_ = pool;
+  } else {
+    const std::int64_t bt =
+        block_tokens > 0 ? block_tokens : kDefaultBlockTokens;
+    owned_pool_ = std::make_unique<KvBlockPool>(
+        cfg.n_layers, cfg.d_model, bt, (cfg.max_seq + bt - 1) / bt);
+    pool_ = owned_pool_.get();
+  }
+  table_.reserve(
+      static_cast<std::size_t>(pool_->blocks_for(cfg.max_seq)));
   logits_.resize(static_cast<std::size_t>(cfg.vocab_size));
   x_.resize(static_cast<std::size_t>(cfg.d_model));
   h_.resize(static_cast<std::size_t>(cfg.d_model));
   qkv_.resize(static_cast<std::size_t>(3 * cfg.d_model));
   attn_out_.resize(static_cast<std::size_t>(cfg.d_model));
   mlp_.resize(static_cast<std::size_t>(cfg.d_ff));
+  scores_.resize(static_cast<std::size_t>(cfg.max_seq));
 }
+
+DecodeSession::~DecodeSession() { reset(); }
 
 void DecodeSession::reset() {
   position_ = 0;
-  for (auto& c : k_cache_) c.clear();
-  for (auto& c : v_cache_) c.clear();
+  for (const std::int32_t b : table_) pool_->decref(b);
+  table_.clear();
+  pending_cow_ = false;
+  cow_copies_ = 0;
+}
+
+void DecodeSession::adopt_prefix(const std::vector<std::int32_t>& blocks,
+                                 std::int64_t tokens) {
+  DPOAF_CHECK_MSG(position_ == 0 && table_.empty(),
+                  "adopt_prefix requires a fresh session");
+  DPOAF_CHECK(tokens >= 0);
+  DPOAF_CHECK(static_cast<std::int64_t>(blocks.size()) ==
+              pool_->blocks_for(tokens));
+  table_ = blocks;
+  position_ = tokens;
+  // The partially-filled tail (if any) may be shared with the prefix tree
+  // or other sessions; the first append resolves it via copy-on-write.
+  pending_cow_ = tokens % pool_->block_tokens() != 0;
 }
 
 const std::vector<float>& DecodeSession::step(int token_id) {
@@ -130,7 +160,27 @@ const std::vector<float>& DecodeSession::step(int token_id) {
   const std::int64_t d = cfg.d_model;
   const std::int64_t n_heads = cfg.n_heads;
   const std::int64_t dh = d / n_heads;
+  const std::int64_t bt = pool_->block_tokens();
   const float inv_sqrt = 1.0f / std::sqrt(static_cast<float>(dh));
+
+  // Map this position onto the block table: start a fresh block at a
+  // boundary, and copy-on-write the tail block when it is shared (an
+  // adopted partial prefix, or a block the prefix tree anchored).
+  const std::int64_t bi = position_ / bt;
+  const std::int64_t row = position_ % bt;
+  if (bi == static_cast<std::int64_t>(table_.size())) {
+    table_.push_back(pool_->allocate());
+  } else if (pending_cow_ &&
+             pool_->refcount(table_[static_cast<std::size_t>(bi)]) > 1) {
+    const std::int32_t shared = table_[static_cast<std::size_t>(bi)];
+    const std::int32_t fresh = pool_->allocate();
+    pool_->copy_rows(shared, fresh, row);
+    pool_->decref(shared);
+    table_[static_cast<std::size_t>(bi)] = fresh;
+    ++cow_copies_;
+  }
+  pending_cow_ = false;
+  const std::int32_t tail = table_[static_cast<std::size_t>(bi)];
 
   // Token + positional embedding.
   const float* tok = model_.tok_emb_.data() + token_id * d;
@@ -138,41 +188,47 @@ const std::vector<float>& DecodeSession::step(int token_id) {
   for (std::int64_t j = 0; j < d; ++j) x_[static_cast<std::size_t>(j)] = tok[j] + pos[j];
 
   const std::int64_t t_len = position_ + 1;
-  std::vector<float> scores(static_cast<std::size_t>(t_len));
+  float* const scores = scores_.data();
   for (std::size_t l = 0; l < model_.blocks_.size(); ++l) {
     const TransformerBlock& block = model_.blocks_[l];
+    const auto layer = static_cast<std::int64_t>(l);
 
     // Attention sublayer.
     row_layer_norm(block.ln1, x_.data(), d, h_.data());
     row_linear(block.attn.qkv, h_.data(), qkv_.data());
-    auto& kc = k_cache_[l];
-    auto& vc = v_cache_[l];
-    kc.insert(kc.end(), qkv_.begin() + d, qkv_.begin() + 2 * d);
-    vc.insert(vc.end(), qkv_.begin() + 2 * d, qkv_.begin() + 3 * d);
+    std::copy(qkv_.begin() + d, qkv_.begin() + 2 * d,
+              pool_->k(layer, tail) + row * d);
+    std::copy(qkv_.begin() + 2 * d, qkv_.begin() + 3 * d,
+              pool_->v(layer, tail) + row * d);
 
     for (std::int64_t head = 0; head < n_heads; ++head) {
       const float* q = qkv_.data() + head * dh;
-      // scores over the cached prefix (causal: all cached positions).
+      // Scores over the cached prefix (causal: all cached positions),
+      // walked in position order so the arithmetic matches a contiguous
+      // layout bit-for-bit at any block size.
       float mx = -1e30f;
       for (std::int64_t t = 0; t < t_len; ++t) {
-        const float* kt = kc.data() + t * d + head * dh;
+        const float* kt =
+            pool_->k(layer, table_[static_cast<std::size_t>(t / bt)]) +
+            (t % bt) * d + head * dh;
         float acc = 0.0f;
         for (std::int64_t j = 0; j < dh; ++j) acc += q[j] * kt[j];
-        scores[static_cast<std::size_t>(t)] = acc * inv_sqrt;
-        mx = std::max(mx, scores[static_cast<std::size_t>(t)]);
+        scores[t] = acc * inv_sqrt;
+        mx = std::max(mx, scores[t]);
       }
       float z = 0.0f;
       for (std::int64_t t = 0; t < t_len; ++t) {
-        scores[static_cast<std::size_t>(t)] =
-            std::exp(scores[static_cast<std::size_t>(t)] - mx);
-        z += scores[static_cast<std::size_t>(t)];
+        scores[t] = std::exp(scores[t] - mx);
+        z += scores[t];
       }
       const float inv_z = 1.0f / z;
       float* ctx = attn_out_.data() + head * dh;
       for (std::int64_t j = 0; j < dh; ++j) ctx[j] = 0.0f;
       for (std::int64_t t = 0; t < t_len; ++t) {
-        const float p = scores[static_cast<std::size_t>(t)] * inv_z;
-        const float* vt = vc.data() + t * d + head * dh;
+        const float p = scores[t] * inv_z;
+        const float* vt =
+            pool_->v(layer, table_[static_cast<std::size_t>(t / bt)]) +
+            (t % bt) * d + head * dh;
         for (std::int64_t j = 0; j < dh; ++j) ctx[j] += p * vt[j];
       }
     }

@@ -1,8 +1,18 @@
-// Incremental decoding with per-layer KV caches. TinyGpt::forward
+// Incremental decoding over block-paged KV storage. TinyGpt::forward
 // recomputes the whole prefix for every generated token (O(T³·d) per
 // response); a DecodeSession feeds one token at a time, caching each
 // layer's keys and values, for O(T²·d) generation — the same optimization
 // every production LLM server applies. Inference-only (no tape).
+//
+// Storage is a KvBlockPool block table rather than contiguous per-layer
+// vectors (see nn/kv_cache.hpp): position p lives in row p % block_tokens
+// of block table[p / block_tokens]. A standalone session owns a private,
+// exactly-sized pool; the serve layer instead passes a shared pool so
+// concurrent requests can adopt each other's prompt-prefix blocks
+// (copy-on-write isolates appends into shared blocks). Attention walks
+// positions in the same order and with the same arithmetic as the old
+// contiguous layout, so logits are bit-identical across block sizes and
+// sharing decisions.
 //
 // Numerical note: the cached path accumulates in a different order than
 // the batch forward, so logits agree to float tolerance (~1e-4), not
@@ -10,9 +20,12 @@
 // decodes.
 #pragma once
 
+#include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "nn/gpt.hpp"
+#include "nn/kv_cache.hpp"
 
 namespace dpoaf::nn {
 
@@ -31,9 +44,17 @@ int argmax_token(const float* logits, std::int64_t vocab);
 
 class DecodeSession {
  public:
-  /// Binds to `model` (which must outlive the session). The session
-  /// snapshot includes LoRA adapters if enabled.
-  explicit DecodeSession(const TinyGpt& model);
+  /// Binds to `model` (which must outlive the session). With `pool` null
+  /// the session owns a private pool sized for one max_seq sequence at
+  /// `block_tokens` tokens per block (0 picks a default); with a shared
+  /// pool the session allocates, adopts, and releases that pool's blocks
+  /// and `block_tokens` is taken from the pool.
+  explicit DecodeSession(const TinyGpt& model, KvBlockPool* pool = nullptr,
+                         std::int64_t block_tokens = 0);
+  ~DecodeSession();
+
+  DecodeSession(const DecodeSession&) = delete;
+  DecodeSession& operator=(const DecodeSession&) = delete;
 
   /// Feed one token; returns the next-token logits (vocab_size floats).
   /// Position advances automatically; throws past max_seq.
@@ -42,19 +63,45 @@ class DecodeSession {
   /// Number of tokens consumed so far.
   [[nodiscard]] std::int64_t position() const { return position_; }
 
-  /// Reset to an empty prefix (caches cleared, position 0).
+  /// Reset to an empty prefix (all block references released, position 0).
   void reset();
+
+  /// Install an already-computed prefix: `blocks` hold the K/V of the
+  /// first `tokens` positions and the session takes ownership of one
+  /// reference per block (the caller must have increffed them, e.g. via
+  /// PrefixTree::match). Only valid on a fresh/reset session. If the last
+  /// block is partially filled and shared, the first append copies it
+  /// (copy-on-write) so other readers never observe the write.
+  void adopt_prefix(const std::vector<std::int32_t>& blocks,
+                    std::int64_t tokens);
+
+  /// The block chain backing positions [0, position()).
+  [[nodiscard]] const std::vector<std::int32_t>& block_table() const {
+    return table_;
+  }
+
+  /// True while the tail block is (or may be) shared, i.e. the next step
+  /// will allocate a copy-on-write replacement. The serve scheduler folds
+  /// this into its free-block reservation.
+  [[nodiscard]] bool pending_cow() const { return pending_cow_; }
+
+  /// Copy-on-write block copies performed since construction/reset.
+  [[nodiscard]] std::int64_t cow_copies() const { return cow_copies_; }
+
+  [[nodiscard]] const KvBlockPool& pool() const { return *pool_; }
 
  private:
   const TinyGpt& model_;
+  std::unique_ptr<KvBlockPool> owned_pool_;  // null when pool is shared
+  KvBlockPool* pool_;
   std::int64_t position_ = 0;
-  // Per layer: cached keys/values, laid out [t * d_model + j] with all
-  // heads packed contiguously (head h occupies columns [h*dh, (h+1)*dh)).
-  std::vector<std::vector<float>> k_cache_;
-  std::vector<std::vector<float>> v_cache_;
+  std::vector<std::int32_t> table_;
+  bool pending_cow_ = false;
+  std::int64_t cow_copies_ = 0;
   std::vector<float> logits_;
-  // Scratch buffers reused across steps.
-  std::vector<float> x_, h_, qkv_, attn_out_, mlp_;
+  // Scratch buffers reused across steps (scores_ holds the per-head
+  // attention row — sized to max_seq once, never reallocated per token).
+  std::vector<float> x_, h_, qkv_, attn_out_, mlp_, scores_;
 };
 
 }  // namespace dpoaf::nn

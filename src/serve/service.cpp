@@ -1,7 +1,11 @@
 #include "serve/service.hpp"
 
+#include <algorithm>
 #include <atomic>
 #include <condition_variable>
+#include <deque>
+#include <functional>
+#include <map>
 #include <mutex>
 #include <thread>
 #include <utility>
@@ -20,6 +24,7 @@ const char* to_string(FinishReason reason) {
     case FinishReason::kContext: return "context";
     case FinishReason::kDeadline: return "deadline";
     case FinishReason::kShutdown: return "shutdown";
+    case FinishReason::kInvalid: return "invalid";
   }
   return "unknown";
 }
@@ -58,6 +63,9 @@ struct GenerationService::Slot {
   std::uint64_t admit_ns = 0;
   std::uint64_t deadline_ns = 0;  // 0 = no deadline
   bool prefilled = false;
+  bool registered = false;     // prompt prefix anchored in the tree
+  std::int64_t cached = 0;     // prompt positions adopted from the tree
+  std::int64_t worst_blocks = 0;  // admission-time block reservation
   int last = 0;
   std::int64_t consumed = 0;  // tokens fed to the session
   int steps_done = 0;         // decode steps taken (= generate()'s loop index)
@@ -65,12 +73,22 @@ struct GenerationService::Slot {
 };
 
 struct GenerationService::Impl {
+  // Pool outlives the tree and every session (members destroy in reverse
+  // declaration order; sessions and the tree release block references on
+  // destruction).
+  std::unique_ptr<nn::KvBlockPool> pool;
+  std::unique_ptr<nn::PrefixTree> tree;  // scheduler-thread confined
+
   std::mutex mutex;
   std::condition_variable work_cv;   // wakes the scheduler
   std::condition_variable space_cv;  // wakes blocking submitters
-  std::vector<Pending> queue;        // pushed in id order (FIFO within priority)
-  bool draining = false;             // no new admissions
-  bool abort = false;                // retire outstanding work as kShutdown
+  // Per-priority FIFO lanes (highest priority first); admission pops the
+  // front of the first non-empty lane in O(log #priorities) instead of
+  // scanning the whole backlog per admitted request.
+  std::map<int, std::deque<Pending>, std::greater<int>> queue;
+  int queue_size = 0;
+  bool draining = false;  // no new admissions
+  bool abort = false;     // retire outstanding work as kShutdown
   std::uint64_t next_id = 1;
   int active_count = 0;
   std::vector<Slot> slots;
@@ -80,10 +98,16 @@ struct GenerationService::Impl {
   std::atomic<std::uint64_t> accepted{0};
   std::atomic<std::uint64_t> rejected_full{0};
   std::atomic<std::uint64_t> rejected_shutdown{0};
+  std::atomic<std::uint64_t> rejected_invalid{0};
   std::atomic<std::uint64_t> completed{0};
   std::atomic<std::uint64_t> generated_tokens{0};
   std::atomic<std::uint64_t> deadline_expired{0};
   std::atomic<std::uint64_t> iterations{0};
+  std::atomic<std::uint64_t> prefix_hits{0};
+  std::atomic<std::uint64_t> prefix_tokens_reused{0};
+  std::atomic<std::uint64_t> prefill_steps{0};
+  std::atomic<std::uint64_t> cow_copies{0};
+  std::atomic<std::uint64_t> evicted_blocks{0};
 };
 
 GenerationService::GenerationService(const nn::TinyGpt& model,
@@ -92,9 +116,25 @@ GenerationService::GenerationService(const nn::TinyGpt& model,
   DPOAF_CHECK_MSG(config_.slots >= 1, "service needs at least one slot");
   DPOAF_CHECK_MSG(config_.queue_capacity >= 0,
                   "queue_capacity must be >= 0");
+  DPOAF_CHECK_MSG(config_.kv_block_tokens >= 1,
+                  "kv_block_tokens must be >= 1");
+  const auto& cfg = model_.config();
+  const std::int64_t bt = config_.kv_block_tokens;
+  const std::int64_t per_seq = (cfg.max_seq + bt - 1) / bt;
+  std::int64_t total = config_.kv_blocks_total > 0
+                           ? config_.kv_blocks_total
+                           : per_seq * config_.slots;
+  // The reservation floor: the pool must fit at least one worst-case
+  // sequence or no admission reservation could ever succeed.
+  DPOAF_CHECK_MSG(total >= per_seq,
+                  "kv_blocks_total smaller than one max_seq sequence");
+  impl_->pool = std::make_unique<nn::KvBlockPool>(cfg.n_layers, cfg.d_model,
+                                                  bt, total);
+  impl_->tree = std::make_unique<nn::PrefixTree>(impl_->pool.get());
   impl_->slots.resize(static_cast<std::size_t>(config_.slots));
   for (Slot& slot : impl_->slots)
-    slot.session = std::make_unique<nn::DecodeSession>(model_);
+    slot.session =
+        std::make_unique<nn::DecodeSession>(model_, impl_->pool.get());
   impl_->scheduler = std::thread([this] { scheduler_loop(); });
 }
 
@@ -122,6 +162,7 @@ std::optional<Submission> GenerationService::try_submit(GenerateRequest req,
   static obs::Counter& accepted_c = obs::counter("serve.requests");
   static obs::Counter& rejected_c = obs::counter("serve.rejected");
   if (!validate(req).empty()) {
+    impl_->rejected_invalid.fetch_add(1, std::memory_order_relaxed);
     if (why != nullptr) *why = SubmitError::kInvalid;
     rejected_c.add();
     return std::nullopt;
@@ -138,15 +179,16 @@ std::optional<Submission> GenerationService::try_submit(GenerateRequest req,
       rejected_c.add();
       return std::nullopt;
     }
-    if (static_cast<int>(im.queue.size()) >= config_.queue_capacity) {
+    if (im.queue_size >= config_.queue_capacity) {
       im.rejected_full.fetch_add(1, std::memory_order_relaxed);
       if (why != nullptr) *why = SubmitError::kQueueFull;
       rejected_c.add();
       return std::nullopt;
     }
     sub.id = im.next_id++;
-    im.queue.push_back(Pending{std::move(req), std::move(promise), sub.id,
-                               obs::monotonic_now_ns()});
+    im.queue[req.priority].push_back(Pending{
+        std::move(req), std::move(promise), sub.id, obs::monotonic_now_ns()});
+    ++im.queue_size;
     im.accepted.fetch_add(1, std::memory_order_relaxed);
   }
   im.work_cv.notify_all();
@@ -155,11 +197,25 @@ std::optional<Submission> GenerationService::try_submit(GenerateRequest req,
 }
 
 Submission GenerationService::submit(GenerateRequest req) {
+  static obs::Counter& accepted_c = obs::counter("serve.requests");
+  static obs::Counter& rejected_c = obs::counter("serve.rejected");
   const std::string err = validate(req);
-  DPOAF_CHECK_MSG(err.empty(), "invalid GenerateRequest: " + err);
+  if (!err.empty()) {
+    // Rejected requests never reach the scheduler: resolve the future
+    // right here instead of crashing the caller (or worse, letting an
+    // empty prompt reach the prefill loop).
+    impl_->rejected_invalid.fetch_add(1, std::memory_order_relaxed);
+    rejected_c.add();
+    std::promise<GenerateResult> promise;
+    Submission sub;
+    sub.result = promise.get_future();
+    GenerateResult r;
+    r.finish = FinishReason::kInvalid;
+    promise.set_value(std::move(r));
+    return sub;
+  }
   DPOAF_CHECK_MSG(config_.queue_capacity > 0,
                   "blocking submit needs queue_capacity > 0");
-  static obs::Counter& accepted_c = obs::counter("serve.requests");
   auto& im = *impl_;
   std::promise<GenerateResult> promise;
   Submission sub;
@@ -167,13 +223,13 @@ Submission GenerationService::submit(GenerateRequest req) {
   {
     std::unique_lock<std::mutex> lock(im.mutex);
     im.space_cv.wait(lock, [&] {
-      return im.draining ||
-             static_cast<int>(im.queue.size()) < config_.queue_capacity;
+      return im.draining || im.queue_size < config_.queue_capacity;
     });
     DPOAF_CHECK_MSG(!im.draining, "submit() after shutdown");
     sub.id = im.next_id++;
-    im.queue.push_back(Pending{std::move(req), std::move(promise), sub.id,
-                               obs::monotonic_now_ns()});
+    im.queue[req.priority].push_back(Pending{
+        std::move(req), std::move(promise), sub.id, obs::monotonic_now_ns()});
+    ++im.queue_size;
     im.accepted.fetch_add(1, std::memory_order_relaxed);
   }
   im.work_cv.notify_all();
@@ -211,31 +267,92 @@ ServiceStats GenerationService::stats() const {
   s.accepted = im.accepted.load(std::memory_order_relaxed);
   s.rejected_full = im.rejected_full.load(std::memory_order_relaxed);
   s.rejected_shutdown = im.rejected_shutdown.load(std::memory_order_relaxed);
+  s.rejected_invalid = im.rejected_invalid.load(std::memory_order_relaxed);
   s.completed = im.completed.load(std::memory_order_relaxed);
   s.generated_tokens = im.generated_tokens.load(std::memory_order_relaxed);
   s.deadline_expired = im.deadline_expired.load(std::memory_order_relaxed);
   s.iterations = im.iterations.load(std::memory_order_relaxed);
+  s.blocks_total = im.pool->total_blocks();
+  s.blocks_free = im.pool->free_blocks();
+  s.prefix_hits = im.prefix_hits.load(std::memory_order_relaxed);
+  s.prefix_tokens_reused =
+      im.prefix_tokens_reused.load(std::memory_order_relaxed);
+  s.prefill_steps = im.prefill_steps.load(std::memory_order_relaxed);
+  s.cow_copies = im.cow_copies.load(std::memory_order_relaxed);
+  s.evicted_blocks = im.evicted_blocks.load(std::memory_order_relaxed);
   return s;
+}
+
+std::int64_t GenerationService::worst_case_blocks(
+    const GenerateRequest& req) const {
+  const std::int64_t positions =
+      std::min<std::int64_t>(static_cast<std::int64_t>(req.prompt.size()) +
+                                 req.max_new_tokens,
+                             model_.config().max_seq);
+  return impl_->pool->blocks_for(positions);
+}
+
+std::int64_t GenerationService::remaining_need(const Slot& slot) const {
+  // Blocks the slot's session may still allocate: its admission-time
+  // worst case minus what its table already holds, plus one replacement
+  // when the (adopted) tail is still shared and awaits copy-on-write.
+  const auto held =
+      static_cast<std::int64_t>(slot.session->block_table().size());
+  const std::int64_t cow = slot.session->pending_cow() ? 1 : 0;
+  return std::max<std::int64_t>(0, slot.worst_blocks - held + cow);
 }
 
 void GenerationService::admit_locked(std::uint64_t now_ns) {
   auto& im = *impl_;
-  while (!im.queue.empty() && im.active_count < config_.slots) {
-    // Highest priority first; ids grow in admission order, so the lowest id
-    // within a priority class is the oldest (FIFO).
-    std::size_t best = 0;
-    for (std::size_t i = 1; i < im.queue.size(); ++i) {
-      const Pending& a = im.queue[i];
-      const Pending& b = im.queue[best];
-      if (a.req.priority > b.req.priority ||
-          (a.req.priority == b.req.priority && a.id < b.id))
-        best = i;
+  while (im.queue_size > 0 && im.active_count < config_.slots) {
+    // Outstanding reservations for everything already admitted.
+    std::int64_t reserved = 0;
+    for (const Slot& s : im.slots)
+      if (s.active) reserved += remaining_need(s);
+
+    auto lane = im.queue.begin();  // highest priority, FIFO within
+    Pending& head = lane->second.front();
+    const auto prompt_len =
+        static_cast<std::int64_t>(head.req.prompt.size());
+
+    // Worst-case need first; a prefix match can only shrink it, so only
+    // pay for the tree walk when the conservative bound doesn't fit.
+    std::int64_t need = worst_case_blocks(head.req);
+    nn::PrefixTree::Match match;
+    bool matched = false;
+    const auto affordable = [&] {
+      if (im.pool->free_blocks() >= reserved + need) return true;
+      im.evicted_blocks.fetch_add(
+          static_cast<std::uint64_t>(
+              im.tree->evict_until_free(reserved + need)),
+          std::memory_order_relaxed);
+      return im.pool->free_blocks() >= reserved + need;
+    };
+    if (config_.prefix_sharing && prompt_len > 1) {
+      if (!affordable()) {
+        // Retry with the adopted prefix discounted. Matched full blocks
+        // are already resident, so they drop out of the reservation.
+        match = im.tree->match(head.req.prompt, prompt_len - 1);
+        matched = true;
+        need = worst_case_blocks(head.req) -
+               match.tokens / config_.kv_block_tokens;
+      }
+      if (!affordable()) {
+        for (const std::int32_t b : match.blocks) im.pool->decref(b);
+        break;  // head-of-line blocks; retirements will free space
+      }
+      if (!matched) match = im.tree->match(head.req.prompt, prompt_len - 1);
+    } else if (!affordable()) {
+      break;
     }
+
     std::size_t si = 0;
     while (im.slots[si].active) ++si;  // lowest free slot
     Slot& slot = im.slots[si];
-    Pending p = std::move(im.queue[best]);
-    im.queue.erase(im.queue.begin() + static_cast<std::ptrdiff_t>(best));
+    Pending p = std::move(head);
+    lane->second.pop_front();
+    if (lane->second.empty()) im.queue.erase(lane);
+    --im.queue_size;
     slot.active = true;
     slot.finished = false;
     slot.req = std::move(p.req);
@@ -248,12 +365,24 @@ void GenerationService::admit_locked(std::uint64_t now_ns) {
                                1000ULL
             : 0;
     slot.prefilled = false;
+    slot.registered = false;
+    slot.cached = 0;
+    slot.worst_blocks = worst_case_blocks(slot.req);
     slot.last = 0;
     slot.consumed = 0;
     slot.steps_done = 0;
     slot.result = GenerateResult{};
     slot.result.queue_ns = now_ns - p.admit_ns;
     slot.rng = request_rng(config_.seed, slot.req.seed);
+    slot.session->reset();
+    if (match.tokens > 0) {
+      slot.session->adopt_prefix(match.blocks, match.tokens);
+      slot.cached = match.tokens;
+      im.prefix_hits.fetch_add(1, std::memory_order_relaxed);
+      im.prefix_tokens_reused.fetch_add(
+          static_cast<std::uint64_t>(match.tokens),
+          std::memory_order_relaxed);
+    }
     ++im.active_count;
   }
 }
@@ -263,6 +392,13 @@ void GenerationService::advance(Slot& slot, std::uint64_t now_ns) {
   // sampling helpers), so a served request reproduces generate() bitwise
   // when decoded with the same RNG.
   GenerateResult& r = slot.result;
+  if (slot.req.prompt.empty()) {
+    // validate() rejects empty prompts before admission; this guard keeps
+    // a future regression from dereferencing prompt.back() below.
+    r.finish = FinishReason::kInvalid;
+    slot.finished = true;
+    return;
+  }
   if (slot.deadline_ns != 0 && now_ns >= slot.deadline_ns) {
     r.truncated = true;
     r.finish = FinishReason::kDeadline;
@@ -271,12 +407,17 @@ void GenerationService::advance(Slot& slot, std::uint64_t now_ns) {
   }
   const auto& cfg = model_.config();
   if (!slot.prefilled) {
-    slot.session->reset();
-    for (std::size_t i = 0; i + 1 < slot.req.prompt.size(); ++i)
+    // Adopted prefix positions [0, cached) are already in the KV cache;
+    // prefill only the un-cached suffix of the prompt.
+    for (std::size_t i = static_cast<std::size_t>(slot.cached);
+         i + 1 < slot.req.prompt.size(); ++i)
       slot.session->step(slot.req.prompt[i]);
     slot.consumed = static_cast<std::int64_t>(slot.req.prompt.size()) - 1;
     slot.last = slot.req.prompt.back();
     slot.prefilled = true;
+    impl_->prefill_steps.fetch_add(
+        static_cast<std::uint64_t>(slot.consumed - slot.cached),
+        std::memory_order_relaxed);
   }
   if (slot.steps_done >= slot.req.max_new_tokens) {
     r.finish = FinishReason::kLength;
@@ -292,6 +433,11 @@ void GenerationService::advance(Slot& slot, std::uint64_t now_ns) {
   const std::vector<float>& logits = slot.session->step(slot.last);
   ++slot.consumed;
   ++slot.steps_done;
+  // Time-to-first-token on the iteration clock, recorded for the first
+  // decode step no matter what it samples (an eos first token previously
+  // left ttft_ns at 0 and the old wall-clock read drifted from the
+  // iteration the token actually landed in).
+  if (slot.steps_done == 1) r.ttft_ns = now_ns - slot.admit_ns;
   const int next =
       slot.req.greedy
           ? nn::argmax_token(logits.data(), cfg.vocab_size)
@@ -304,10 +450,41 @@ void GenerationService::advance(Slot& slot, std::uint64_t now_ns) {
   }
   r.ids.push_back(next);
   slot.last = next;
-  if (r.ids.size() == 1) r.ttft_ns = obs::monotonic_now_ns() - slot.admit_ns;
   if (slot.steps_done >= slot.req.max_new_tokens) {
     r.finish = FinishReason::kLength;
     slot.finished = true;
+  }
+}
+
+void GenerationService::register_prefixes() {
+  auto& im = *impl_;
+  if (!config_.prefix_sharing) return;
+  const std::int64_t bt = config_.kv_block_tokens;
+  for (Slot& slot : im.slots) {
+    if (!slot.active || slot.registered || !slot.prefilled) continue;
+    slot.registered = true;
+    // Cache-resident prompt positions: the full prompt once the first
+    // decode step fed prompt.back(), one less when the slot finished
+    // before that step (max_new == 0 or immediate context exhaustion).
+    const std::int64_t len = std::min(
+        slot.consumed, static_cast<std::int64_t>(slot.req.prompt.size()));
+    if (len <= 0) continue;
+    const auto& chain = slot.session->block_table();
+    std::int32_t partial = -1;
+    if (len % bt != 0 && !im.tree->has_anchor(slot.req.prompt.data(), len)) {
+      // The tail block keeps receiving generated-token rows, so the tree
+      // anchors a snapshot copy — paid for only when the pool can spare a
+      // block beyond every admitted request's reservation.
+      std::int64_t reserved = 0;
+      for (const Slot& s : im.slots)
+        if (s.active) reserved += remaining_need(s);
+      if (im.pool->free_blocks() > reserved) {
+        partial = im.pool->allocate();
+        im.pool->copy_rows(chain[static_cast<std::size_t>(len / bt)],
+                           partial, len % bt);
+      }
+    }
+    im.tree->insert(slot.req.prompt.data(), len, chain, partial);
   }
 }
 
@@ -322,6 +499,9 @@ void GenerationService::retire(Slot& slot, std::uint64_t now_ns) {
   r.total_ns = now_ns - slot.admit_ns;
   im.completed.fetch_add(1, std::memory_order_relaxed);
   im.generated_tokens.fetch_add(r.ids.size(), std::memory_order_relaxed);
+  im.cow_copies.fetch_add(
+      static_cast<std::uint64_t>(slot.session->cow_copies()),
+      std::memory_order_relaxed);
   if (r.finish == FinishReason::kDeadline)
     im.deadline_expired.fetch_add(1, std::memory_order_relaxed);
   completed_c.add();
@@ -329,6 +509,10 @@ void GenerationService::retire(Slot& slot, std::uint64_t now_ns) {
   latency_h.record(r.total_ns);
   if (r.ttft_ns != 0) ttft_h.record(r.ttft_ns);
   queue_h.record(r.queue_ns);
+  // Release this sequence's block references immediately so the freed
+  // space is visible to the very next admission pass (tree-anchored
+  // prefix blocks stay resident until evicted).
+  slot.session->reset();
   slot.active = false;
   slot.promise.set_value(std::move(r));
 }
@@ -338,8 +522,35 @@ void GenerationService::scheduler_loop() {
   static obs::Gauge& queue_depth_max = obs::gauge("serve.queue_depth.max");
   static obs::Gauge& active_gauge = obs::gauge("serve.active_slots");
   static obs::Gauge& active_max = obs::gauge("serve.active_slots.max");
+  static obs::Gauge& blocks_total_g = obs::gauge("serve.kv_blocks_total");
+  static obs::Gauge& blocks_free_g = obs::gauge("serve.kv_blocks_free");
   static obs::Counter& iterations_c = obs::counter("serve.iterations");
+  static obs::Counter& prefix_hits_c = obs::counter("serve.prefix_hits");
+  static obs::Counter& prefix_reused_c =
+      obs::counter("serve.prefix_tokens_reused");
+  static obs::Counter& prefill_steps_c = obs::counter("serve.prefill_steps");
+  static obs::Counter& cow_c = obs::counter("serve.cow_copies");
+  static obs::Counter& evicted_c = obs::counter("serve.evicted_blocks");
   auto& im = *impl_;
+  blocks_total_g.set(im.pool->total_blocks());
+  // Deltas for mirroring the atomic lifetime totals into obs counters.
+  std::uint64_t seen_hits = 0, seen_reused = 0, seen_prefill = 0,
+                seen_cow = 0, seen_evicted = 0;
+  const auto drain_counters = [&] {
+    const auto mirror = [](std::atomic<std::uint64_t>& total,
+                           std::uint64_t& seen, obs::Counter& c) {
+      const std::uint64_t now = total.load(std::memory_order_relaxed);
+      if (now > seen) {
+        c.add(now - seen);
+        seen = now;
+      }
+    };
+    mirror(im.prefix_hits, seen_hits, prefix_hits_c);
+    mirror(im.prefix_tokens_reused, seen_reused, prefix_reused_c);
+    mirror(im.prefill_steps, seen_prefill, prefill_steps_c);
+    mirror(im.cow_copies, seen_cow, cow_c);
+    mirror(im.evicted_blocks, seen_evicted, evicted_c);
+  };
   // One "serve" span per contiguous busy period (armed only while
   // observability is on), closed whenever the service goes idle.
   std::optional<obs::Span> busy;
@@ -350,20 +561,23 @@ void GenerationService::scheduler_loop() {
       std::unique_lock<std::mutex> lock(im.mutex);
       im.work_cv.wait(lock, [&] {
         return im.abort || im.draining || im.active_count > 0 ||
-               !im.queue.empty();
+               im.queue_size > 0;
       });
       do_abort = im.abort;
       if (do_abort) {
-        failed = std::move(im.queue);
+        for (auto& lane : im.queue)
+          for (Pending& p : lane.second) failed.push_back(std::move(p));
         im.queue.clear();
+        im.queue_size = 0;
       } else {
         admit_locked(obs::monotonic_now_ns());
         im.space_cv.notify_all();
-        queue_depth.set(static_cast<std::int64_t>(im.queue.size()));
-        queue_depth_max.record_max(
-            static_cast<std::int64_t>(im.queue.size()));
+        queue_depth.set(im.queue_size);
+        queue_depth_max.record_max(im.queue_size);
         active_gauge.set(im.active_count);
         active_max.record_max(im.active_count);
+        blocks_free_g.set(im.pool->free_blocks());
+        drain_counters();
         if (im.active_count == 0) {
           // All slots free ⇒ admit drained the whole queue.
           busy.reset();
@@ -411,6 +625,9 @@ void GenerationService::scheduler_loop() {
             if (slot.active && !slot.finished) advance(slot, iter_ns);
           }
         });
+    // Anchor freshly prefilled prompts before retirement can release
+    // their blocks; runs on the scheduler thread, after the fork/join.
+    register_prefixes();
     const std::uint64_t end_ns = obs::monotonic_now_ns();
     int retired = 0;
     for (Slot& slot : slots) {

@@ -1,23 +1,35 @@
 // Continuous-batching generation service (Orca-style iteration-level
-// scheduling) over the KV-cache DecodeSession.
+// scheduling) over block-paged KV storage with prefix sharing.
 //
-// A GenerationService owns a fixed fleet of decode slots and one scheduler
-// thread. Requests enter a bounded admission queue; every scheduler
-// iteration admits queued requests into free slots (priority-descending,
-// then FIFO, lowest free slot first) and advances each active slot by one
-// generated token, fanning the per-slot steps across util::ThreadPool.
-// Finished, expired, or aborted requests retire at the end of the iteration
-// and their slot is re-admitted immediately — new work never waits for the
-// whole batch to drain.
+// A GenerationService owns a fixed fleet of decode slots, one shared
+// KvBlockPool, a PrefixTree of cached prompt prefixes, and one scheduler
+// thread. Requests enter a bounded admission queue (per-priority FIFO
+// lanes); every scheduler iteration admits queued requests into free slots
+// — gated on free KV blocks, not just slot count — and advances each
+// active slot by one generated token, fanning the per-slot steps across
+// util::ThreadPool. Finished, expired, or aborted requests retire at the
+// end of the iteration, release their blocks, and their slot is
+// re-admitted immediately — new work never waits for the whole batch to
+// drain.
 //
-// Determinism (see docs/SERVING.md): a request's output depends only on the
-// model weights, its own fields, and request_rng(config.seed, request.seed).
-// Each slot decodes with a private DecodeSession and a private RNG that is a
-// pure function of the two seeds — never split at admission time — so token
-// ids are bitwise-identical regardless of arrival order, slot count, thread
-// count, or scheduling interleaving. In deterministic mode deadlines are
-// ignored (wall-clock expiry is the one scheduling input that could leak
-// into results); wall-clock latency fields are always report-only.
+// Prefix sharing (see docs/SERVING.md): completed prompt prefills are
+// anchored in the prefix tree; admission walks the tree and adopts
+// already-computed prefix blocks, so requests sharing a scenario preamble
+// prefill only their un-cached suffix. Copy-on-write keeps shared blocks
+// immutable. Admission reserves each request's worst-case block need
+// (evicting cached prefixes LRU-first when short), so an admitted request
+// can always run to completion — the pool can never strand a slot
+// mid-decode.
+//
+// Determinism: a request's output depends only on the model weights, its
+// own fields, and request_rng(config.seed, request.seed). Adopted prefix
+// blocks hold bit-exactly the rows the request's own prefill would have
+// produced, and attention walks positions in the same order at any block
+// size — so token ids are bitwise-identical regardless of arrival order,
+// slot count, thread count, KV block size, or cache hits. In
+// deterministic mode deadlines are ignored (wall-clock expiry is the one
+// scheduling input that could leak into results); wall-clock latency
+// fields are always report-only.
 #pragma once
 
 #include <cstdint>
@@ -28,6 +40,7 @@
 
 #include "nn/decoder.hpp"
 #include "nn/gpt.hpp"
+#include "nn/kv_cache.hpp"
 
 namespace dpoaf::serve {
 
@@ -38,6 +51,7 @@ enum class FinishReason {
   kContext,   // hit the model's max_seq context limit (truncated)
   kDeadline,  // wall-clock deadline expired mid-decode (truncated)
   kShutdown,  // service aborted before the request completed (truncated)
+  kInvalid,   // rejected by validate() without ever reaching a slot
 };
 
 [[nodiscard]] const char* to_string(FinishReason reason);
@@ -65,8 +79,9 @@ struct GenerateResult {
   bool truncated = false;  // context, deadline, or shutdown cut it short
   FinishReason finish = FinishReason::kEos;
   // Wall-clock latency breakdown, report-only (never fed back into token
-  // selection): admission→slot, admission→first emitted token (0 when no
-  // token was emitted), admission→retirement.
+  // selection): admission→slot, admission→first decode step (recorded on
+  // the iteration clock even when that step sampled eos; 0 only when no
+  // decode step ran), admission→retirement.
   std::uint64_t queue_ns = 0;
   std::uint64_t ttft_ns = 0;
   std::uint64_t total_ns = 0;
@@ -91,6 +106,20 @@ struct ServiceConfig {
   /// pure function of (seed, request set). Latency stats stay wall-clock.
   bool deterministic = false;
   std::uint64_t seed = 0;  // mixed into every per-request RNG
+  /// Tokens per KV block. Smaller blocks share prefixes at finer grain
+  /// and waste less tail space; larger blocks cut per-block bookkeeping.
+  /// Results are bitwise-identical at any value (>= 1).
+  int kv_block_tokens = 16;
+  /// Total blocks in the shared pool; 0 sizes it to fit `slots`
+  /// worst-case sequences (slots * ceil(max_seq / kv_block_tokens)).
+  /// Must fit at least one worst-case sequence — admission reserves every
+  /// admitted request's remaining need, so smaller pools throttle
+  /// concurrency instead of stranding requests.
+  std::int64_t kv_blocks_total = 0;
+  /// Adopt cached prompt prefixes from the prefix tree (and anchor new
+  /// ones). Off = every request prefills privately; outputs are identical
+  /// either way.
+  bool prefix_sharing = true;
 };
 
 /// Lifetime totals (monotone; read with stats()).
@@ -98,10 +127,19 @@ struct ServiceStats {
   std::uint64_t accepted = 0;
   std::uint64_t rejected_full = 0;
   std::uint64_t rejected_shutdown = 0;
+  std::uint64_t rejected_invalid = 0;
   std::uint64_t completed = 0;
   std::uint64_t generated_tokens = 0;
   std::uint64_t deadline_expired = 0;
   std::uint64_t iterations = 0;  // scheduler iterations that advanced work
+  // Paged-KV / prefix-sharing telemetry.
+  std::int64_t blocks_total = 0;  // pool size (constant)
+  std::int64_t blocks_free = 0;   // free blocks at sampling time
+  std::uint64_t prefix_hits = 0;  // admissions that adopted a cached prefix
+  std::uint64_t prefix_tokens_reused = 0;  // prompt positions not prefilled
+  std::uint64_t prefill_steps = 0;  // prompt positions actually computed
+  std::uint64_t cow_copies = 0;     // copy-on-write block copies
+  std::uint64_t evicted_blocks = 0;  // cached-prefix blocks reclaimed
 };
 
 /// The decode RNG for a request: a pure function of the service seed and
@@ -128,8 +166,10 @@ class GenerationService {
   std::optional<Submission> try_submit(GenerateRequest req,
                                        SubmitError* why = nullptr);
 
-  /// Blocking admission: waits for queue space. Throws ContractViolation
-  /// on an invalid request or when the service has shut down.
+  /// Blocking admission: waits for queue space. An invalid request never
+  /// reaches the scheduler — its future resolves immediately with
+  /// FinishReason::kInvalid. Throws ContractViolation only when called
+  /// after shutdown.
   Submission submit(GenerateRequest req);
 
   /// Submit every request (blocking for space) and wait; results come back
@@ -152,12 +192,21 @@ class GenerationService {
   struct Impl;
 
   void scheduler_loop();
-  /// Move queued requests into free slots; caller holds mutex_.
+  /// Move queued requests into free slots while their worst-case block
+  /// need fits the unreserved pool; caller holds mutex_.
   void admit_locked(std::uint64_t now_ns);
   /// One generated token (or prefill + first token) for an active slot.
   void advance(Slot& slot, std::uint64_t now_ns);
+  /// Anchor freshly prefilled prompts in the prefix tree (scheduler
+  /// thread, between iterations).
+  void register_prefixes();
   /// Fulfill a finished slot's promise and free it.
   void retire(Slot& slot, std::uint64_t now_ns);
+  /// KV blocks the slot may still allocate (drives admission reservation).
+  [[nodiscard]] std::int64_t remaining_need(const Slot& slot) const;
+  /// Worst-case block count for a request before any prefix adoption.
+  [[nodiscard]] std::int64_t worst_case_blocks(
+      const GenerateRequest& req) const;
 
   const nn::TinyGpt& model_;
   ServiceConfig config_;

@@ -333,6 +333,179 @@ TEST(Serve, AbortShutdownFailsOutstandingWorkFast) {
   util::set_global_threads(1);
 }
 
+// An empty prompt must never reach the scheduler: try_submit reports
+// kInvalid, blocking submit resolves the future immediately with
+// FinishReason::kInvalid instead of throwing (or crashing a decode slot).
+TEST(Serve, EmptyPromptResolvesInvalidWithoutReachingScheduler) {
+  const nn::TinyGpt model = small_model();
+  serve::ServiceConfig cfg;
+  cfg.deterministic = true;
+  serve::GenerationService service(model, cfg);
+  serve::GenerateRequest bad;
+  bad.prompt = {};
+  serve::SubmitError why{};
+  EXPECT_FALSE(service.try_submit(bad, &why).has_value());
+  EXPECT_EQ(why, serve::SubmitError::kInvalid);
+  auto sub = service.submit(bad);
+  const auto r = sub.result.get();
+  EXPECT_EQ(r.finish, serve::FinishReason::kInvalid);
+  EXPECT_TRUE(r.ids.empty());
+  const auto stats = service.stats();
+  EXPECT_EQ(stats.rejected_invalid, 2u);
+  EXPECT_EQ(stats.accepted, 0u);
+  // The service still works for valid traffic afterwards.
+  serve::GenerateRequest ok;
+  ok.prompt = {2, 3};
+  ok.max_new_tokens = 2;
+  EXPECT_EQ(service.submit(ok).result.get().finish,
+            serve::FinishReason::kLength);
+}
+
+// Time-to-first-token must be recorded for the first decode step even when
+// that step samples eos (the old path only stamped it after a token was
+// appended, so eos-first responses reported ttft_ns == 0).
+TEST(Serve, TtftRecordedWhenFirstTokenIsEos) {
+  const nn::TinyGpt model = small_model();
+  serve::ServiceConfig cfg;
+  cfg.deterministic = true;
+  serve::GenerationService service(model, cfg);
+  serve::GenerateRequest req;
+  req.prompt = {2, 3, 5};
+  req.max_new_tokens = 4;
+  req.greedy = true;
+  req.eos_id = -1;
+  // Probe the deterministic greedy decode for its first token, then make
+  // exactly that token the eos.
+  const auto probe = service.submit(req).result.get();
+  ASSERT_FALSE(probe.ids.empty());
+  req.eos_id = probe.ids.front();
+  const auto r = service.submit(req).result.get();
+  EXPECT_EQ(r.finish, serve::FinishReason::kEos);
+  EXPECT_TRUE(r.ids.empty());
+  EXPECT_GT(r.ttft_ns, 0u);
+  EXPECT_LE(r.ttft_ns, r.total_ns);
+  // No decode step at all (max_new == 0) still legitimately reports 0.
+  req.eos_id = -1;
+  req.max_new_tokens = 0;
+  EXPECT_EQ(service.submit(req).result.get().ttft_ns, 0u);
+}
+
+// A pool far smaller than slots * max_seq throttles admission instead of
+// stranding requests: everything completes, bitwise-equal to an
+// unconstrained service.
+TEST(Serve, BlockExhaustionThrottlesAdmissionWithoutStranding) {
+  util::set_global_threads(2);
+  const nn::TinyGpt model = small_model();
+  const auto reqs = request_set(24, 41);
+  serve::ServiceConfig big;
+  big.slots = 4;
+  big.deterministic = true;
+  big.seed = 7;
+  std::vector<std::size_t> order(reqs.size());
+  std::iota(order.begin(), order.end(), 0);
+  const auto want = run_served(model, big, reqs, order);
+
+  serve::ServiceConfig tight = big;
+  tight.kv_block_tokens = 4;
+  // Exactly one worst-case sequence fits: slots effectively share the
+  // pool and most admissions wait on blocks, not on a free slot.
+  tight.kv_blocks_total = model.config().max_seq / 4;
+  const auto got = run_served(model, tight, reqs, order);
+  EXPECT_EQ(got, want);
+  util::set_global_threads(1);
+}
+
+// Outputs are bitwise-invariant to the KV block size, with or without
+// prefix sharing in the mix.
+TEST(Serve, DeterministicAcrossKvBlockSizes) {
+  util::set_global_threads(2);
+  const nn::TinyGpt model = small_model();
+  auto reqs = request_set(12, 59);
+  // Give half the requests a common preamble so sharing actually engages.
+  for (std::size_t u = 0; u < reqs.size(); u += 2)
+    reqs[u].prompt.insert(reqs[u].prompt.begin(), {9, 8, 7, 6, 5, 4});
+  std::vector<std::size_t> order(reqs.size());
+  std::iota(order.begin(), order.end(), 0);
+  serve::ServiceConfig cfg;
+  cfg.slots = 4;
+  cfg.deterministic = true;
+  cfg.seed = 13;
+  cfg.kv_block_tokens = 1;
+  const auto want = run_served(model, cfg, reqs, order);
+  for (const int bt : {3, 8, 64}) {
+    cfg.kv_block_tokens = bt;
+    for (const bool sharing : {true, false}) {
+      cfg.prefix_sharing = sharing;
+      EXPECT_EQ(run_served(model, cfg, reqs, order), want)
+          << "kv_block_tokens " << bt << " sharing " << sharing;
+    }
+  }
+  util::set_global_threads(1);
+}
+
+// Prefix sharing: identical results to private prefill, fewer prefill
+// steps, and hit/reuse telemetry that accounts for the skipped work.
+TEST(Serve, PrefixSharingReusesPreambleAndMatchesPrivatePrefill) {
+  util::set_global_threads(2);
+  const nn::TinyGpt model = small_model();
+  const std::vector<int> preamble = {9, 8, 7, 6, 5, 4, 3, 2, 9, 8, 7, 6};
+  std::vector<serve::GenerateRequest> reqs(8);
+  Rng rng(71);
+  for (std::size_t u = 0; u < reqs.size(); ++u) {
+    auto& req = reqs[u];
+    req.prompt = preamble;
+    req.prompt.push_back(static_cast<int>(rng.below(48)));
+    req.max_new_tokens = 6;
+    req.eos_id = 1;
+    req.seed = rng();
+  }
+  std::vector<std::size_t> order(reqs.size());
+  std::iota(order.begin(), order.end(), 0);
+
+  serve::ServiceConfig cfg;
+  cfg.slots = 2;
+  cfg.deterministic = true;
+  cfg.seed = 3;
+  cfg.kv_block_tokens = 4;
+
+  cfg.prefix_sharing = false;
+  std::uint64_t private_prefill = 0;
+  std::vector<Outcome> want;
+  {
+    serve::GenerationService service(model, cfg);
+    std::vector<std::future<serve::GenerateResult>> fs;
+    for (const std::size_t u : order)
+      fs.push_back(service.submit(reqs[u]).result);
+    for (auto& f : fs) {
+      auto r = f.get();
+      want.push_back(Outcome{std::move(r.ids), r.truncated, r.finish});
+    }
+    const auto s = service.stats();
+    private_prefill = s.prefill_steps;
+    EXPECT_EQ(s.prefix_hits, 0u);
+  }
+
+  cfg.prefix_sharing = true;
+  serve::GenerationService service(model, cfg);
+  std::vector<std::future<serve::GenerateResult>> fs;
+  for (const std::size_t u : order) fs.push_back(service.submit(reqs[u]).result);
+  std::vector<Outcome> got;
+  for (auto& f : fs) {
+    auto r = f.get();
+    got.push_back(Outcome{std::move(r.ids), r.truncated, r.finish});
+  }
+  EXPECT_EQ(got, want);  // byte-identical shared vs independent
+  const auto s = service.stats();
+  EXPECT_GT(s.prefix_hits, 0u);
+  EXPECT_GT(s.prefix_tokens_reused, 0u);
+  EXPECT_LT(s.prefill_steps, private_prefill);
+  EXPECT_EQ(s.prefill_steps + s.prefix_tokens_reused, private_prefill);
+  EXPECT_EQ(s.blocks_total, service.config().kv_blocks_total == 0
+                                ? 2 * ((model.config().max_seq + 3) / 4)
+                                : service.config().kv_blocks_total);
+  util::set_global_threads(1);
+}
+
 // Pipeline routing: with config.serve on, candidates and checkpoint eval
 // are identical at any (serve_slots, threads) setting.
 TEST(Serve, PipelineServeModeDeterministicAcrossSlotsAndThreads) {
