@@ -1,10 +1,23 @@
 // Micro-benchmarks (google-benchmark): the tensor/autograd substrate that
 // carries pre-training and DPO — matmul, softmax, layer-norm throughput,
 // and a full TinyGpt forward/backward step at the pipeline's default size.
+//
+// The matmul and GPT benches are parameterized over the compute backends
+// (docs/BACKENDS.md): each backend row first asserts output equivalence
+// against the scalar reference (within float tolerance) and only then
+// times, so a kernel that drifts numerically can never post a throughput
+// number. CI's bench-regression job runs the BM_Matmul sweep under
+// --benchmark_out and gates on the simd:scalar GFLOP/s ratio
+// (scripts/check_bench_regression.py).
 #include <benchmark/benchmark.h>
+
+#include <cmath>
+#include <string>
+#include <vector>
 
 #include "bench_metrics_main.hpp"
 #include "nn/gpt.hpp"
+#include "tensor/backend/backend.hpp"
 #include "tensor/ops.hpp"
 #include "util/threadpool.hpp"
 
@@ -14,29 +27,82 @@ using namespace dpoaf;
 using tensor::Tape;
 using tensor::Tensor;
 namespace ops = tensor::ops;
+namespace backend = tensor::backend;
 
-void BM_Matmul(benchmark::State& state) {
+constexpr const char* kBackends[] = {"scalar", "simd"};
+constexpr double kTolerance = 1e-4;  // max relative elementwise error
+
+bool backend_available(const std::string& name) {
+  return name != "simd" || backend::simd_supported();
+}
+
+// Largest elementwise difference, relative to max(|element|, tensor
+// magnitude): near-zero elements (catastrophic cancellation in long dot
+// products) are judged against the tensor's scale, not their own.
+double max_rel_diff(const Tensor& got, const Tensor& want) {
+  double scale = 1e-6;
+  for (std::int64_t i = 0; i < want.numel(); ++i)
+    scale = std::max(scale, std::abs(static_cast<double>(want.data()[i])));
+  double worst = 0.0;
+  for (std::int64_t i = 0; i < want.numel(); ++i) {
+    const double w = want.data()[i];
+    const double d = std::abs(static_cast<double>(got.data()[i]) - w);
+    worst = std::max(worst, d / std::max(std::abs(w), scale));
+  }
+  return worst;
+}
+
+// Skips the bench (with an error) unless `got` matches the scalar
+// reference; returns false when timing must not proceed.
+bool check_equivalent(benchmark::State& state, const Tensor& got,
+                      const Tensor& want, const char* what) {
+  const double diff = max_rel_diff(got, want);
+  if (diff > kTolerance) {
+    state.SkipWithError((std::string(what) + " diverged from scalar: max " +
+                         "rel diff " + std::to_string(diff))
+                            .c_str());
+    return false;
+  }
+  return true;
+}
+
+void matmul_bench(benchmark::State& state, const std::string& be) {
   const auto n = state.range(0);
-  util::set_global_threads(1);  // serial baseline; see BM_MatmulThreads
+  if (!backend_available(be)) {
+    state.SkipWithError("simd backend not supported on this CPU/build");
+    return;
+  }
+  util::set_global_threads(1);  // serial kernel throughput; see …Threads
   Rng rng(1);
   Tensor a = Tensor::randn({n, n}, rng);
   Tensor b = Tensor::randn({n, n}, rng);
+  backend::select("scalar");
+  Tensor ref = ops::matmul(nullptr, a, b);
+  backend::select(be);
+  if (!check_equivalent(state, ops::matmul(nullptr, a, b), ref, "matmul"))
+    return;
   for (auto _ : state) {
     Tensor c = ops::matmul(nullptr, a, b);
     benchmark::DoNotOptimize(c.data());
   }
+  backend::select("");
   state.counters["GFLOP/s"] = benchmark::Counter(
       static_cast<double>(2 * n * n * n) * static_cast<double>(state.iterations()),
       benchmark::Counter::kIsRate, benchmark::Counter::kIs1000);
 }
-BENCHMARK(BM_Matmul)->Arg(48)->Arg(96)->Arg(192);
 
-// Thread-count sweep at the figure/ablation hot-path size (256³): the
-// speedup column is the GFLOP/s ratio against the threads=1 row.
-void BM_MatmulThreads(benchmark::State& state) {
+// Thread-count sweep at the figure/ablation hot-path size (256³), per
+// backend: the speedup column is the GFLOP/s ratio against the threads=1
+// row of the same backend.
+void matmul_threads_bench(benchmark::State& state, const std::string& be) {
   const auto threads = static_cast<int>(state.range(0));
   constexpr std::int64_t n = 256;
+  if (!backend_available(be)) {
+    state.SkipWithError("simd backend not supported on this CPU/build");
+    return;
+  }
   util::set_global_threads(threads);
+  backend::select(be);
   Rng rng(1);
   Tensor a = Tensor::randn({n, n}, rng);
   Tensor b = Tensor::randn({n, n}, rng);
@@ -45,18 +111,23 @@ void BM_MatmulThreads(benchmark::State& state) {
     benchmark::DoNotOptimize(c.data());
   }
   util::set_global_threads(1);
+  backend::select("");
   state.counters["GFLOP/s"] = benchmark::Counter(
       static_cast<double>(2 * n * n * n) * static_cast<double>(state.iterations()),
       benchmark::Counter::kIsRate, benchmark::Counter::kIs1000);
 }
-BENCHMARK(BM_MatmulThreads)->Arg(1)->Arg(2)->Arg(4)->Arg(8)
-    ->ArgName("threads");
 
 // Backward accumulations under the same sweep (both dA and dB paths).
-void BM_MatmulBackwardThreads(benchmark::State& state) {
+void matmul_backward_threads_bench(benchmark::State& state,
+                                   const std::string& be) {
   const auto threads = static_cast<int>(state.range(0));
   constexpr std::int64_t n = 256;
+  if (!backend_available(be)) {
+    state.SkipWithError("simd backend not supported on this CPU/build");
+    return;
+  }
   util::set_global_threads(threads);
+  backend::select(be);
   Rng rng(1);
   Tensor a = Tensor::randn({n, n}, rng).set_requires_grad(true);
   Tensor b = Tensor::randn({n, n}, rng).set_requires_grad(true);
@@ -70,9 +141,8 @@ void BM_MatmulBackwardThreads(benchmark::State& state) {
     b.zero_grad();
   }
   util::set_global_threads(1);
+  backend::select("");
 }
-BENCHMARK(BM_MatmulBackwardThreads)->Arg(1)->Arg(2)->Arg(4)
-    ->ArgName("threads");
 
 void BM_SoftmaxRows(benchmark::State& state) {
   Rng rng(2);
@@ -111,21 +181,37 @@ nn::TinyGpt& pipeline_sized_model() {
   return model;
 }
 
-void BM_GptForward(benchmark::State& state) {
+void gpt_forward_bench(benchmark::State& state, const std::string& be) {
+  if (!backend_available(be)) {
+    state.SkipWithError("simd backend not supported on this CPU/build");
+    return;
+  }
   auto& model = pipeline_sized_model();
   std::vector<int> ids(64);
   Rng rng(5);
   for (auto& id : ids) id = static_cast<int>(rng.below(80));
+  backend::select("scalar");
+  Tensor ref = model.forward(nullptr, ids);
+  backend::select(be);
+  if (!check_equivalent(state, model.forward(nullptr, ids), ref,
+                        "gpt forward logits"))
+    return;
   for (auto _ : state) {
     Tensor logits = model.forward(nullptr, ids);
     benchmark::DoNotOptimize(logits.data());
   }
+  backend::select("");
   state.counters["tok/s"] = benchmark::Counter(
       static_cast<double>(64 * state.iterations()), benchmark::Counter::kIsRate);
 }
-BENCHMARK(BM_GptForward);
 
-void BM_GptForwardBackward(benchmark::State& state) {
+void gpt_forward_backward_bench(benchmark::State& state,
+                                const std::string& be) {
+  if (!backend_available(be)) {
+    state.SkipWithError("simd backend not supported on this CPU/build");
+    return;
+  }
+  backend::select(be);
   auto& model = pipeline_sized_model();
   std::vector<int> ids(64);
   Rng rng(6);
@@ -137,13 +223,49 @@ void BM_GptForwardBackward(benchmark::State& state) {
     benchmark::DoNotOptimize(loss.item());
     for (Tensor p : model.parameters()) p.zero_grad();
   }
+  backend::select("");
   state.counters["tok/s"] = benchmark::Counter(
       static_cast<double>(64 * state.iterations()), benchmark::Counter::kIsRate);
 }
-BENCHMARK(BM_GptForwardBackward);
+
+void register_backend_benches() {
+  for (const char* be : kBackends) {
+    const std::string name(be);
+    benchmark::RegisterBenchmark(
+        ("BM_Matmul/" + name).c_str(),
+        [name](benchmark::State& s) { matmul_bench(s, name); })
+        ->Arg(48)
+        ->Arg(96)
+        ->Arg(192);
+    benchmark::RegisterBenchmark(
+        ("BM_MatmulThreads/" + name).c_str(),
+        [name](benchmark::State& s) { matmul_threads_bench(s, name); })
+        ->Arg(1)
+        ->Arg(2)
+        ->Arg(4)
+        ->Arg(8)
+        ->ArgName("threads");
+    benchmark::RegisterBenchmark(
+        ("BM_MatmulBackwardThreads/" + name).c_str(),
+        [name](benchmark::State& s) {
+          matmul_backward_threads_bench(s, name);
+        })
+        ->Arg(1)
+        ->Arg(2)
+        ->Arg(4)
+        ->ArgName("threads");
+    benchmark::RegisterBenchmark(
+        ("BM_GptForward/" + name).c_str(),
+        [name](benchmark::State& s) { gpt_forward_bench(s, name); });
+    benchmark::RegisterBenchmark(
+        ("BM_GptForwardBackward/" + name).c_str(),
+        [name](benchmark::State& s) { gpt_forward_backward_bench(s, name); });
+  }
+}
 
 }  // namespace
 
 int main(int argc, char** argv) {
+  register_backend_benches();
   return dpoaf_benchmark_main(argc, argv, "micro_tensor");
 }

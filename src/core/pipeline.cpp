@@ -7,6 +7,7 @@
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "serve/service.hpp"
+#include "tensor/backend/backend.hpp"
 #include "util/check.hpp"
 #include "util/threadpool.hpp"
 
@@ -58,6 +59,7 @@ DpoAfPipeline::DpoAfPipeline(PipelineConfig config)
       tokenizer_(lm::build_tokenizer(domain_.tasks())),
       rng_(config.seed) {
   util::set_global_threads(config_.threads);
+  tensor::backend::select(config_.backend);
   domain_.set_feedback_cache(config_.feedback_cache);
   // Enable-only: never turn off observability some other component (a
   // bench harness, the example binary) switched on for the process.

@@ -39,6 +39,13 @@ struct PipelineConfig {
   /// Results are bitwise-identical at any setting (see DESIGN.md).
   int threads = 0;
 
+  /// Tensor compute backend: "scalar", "simd", or "auto". Empty (the
+  /// default) defers to the DPOAF_BACKEND environment variable, then to
+  /// auto cpuid dispatch. Each backend is bitwise-reproducible across
+  /// thread counts, but backends round differently from each other, so
+  /// hold the backend fixed when comparing runs (docs/BACKENDS.md).
+  std::string backend;
+
   // Model size (vocab is derived from the corpus).
   std::int64_t d_model = 48;
   std::int64_t n_heads = 4;

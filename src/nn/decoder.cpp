@@ -4,6 +4,7 @@
 #include <cmath>
 #include <utility>
 
+#include "tensor/backend/backend.hpp"
 #include "util/check.hpp"
 
 namespace dpoaf::nn {
@@ -52,17 +53,15 @@ int argmax_token(const float* logits, std::int64_t vocab) {
 namespace {
 
 // y[out] = x[in] · W + b (+ LoRA delta); single-row inference kernel.
+// The dense matvec is a one-row matmul_fwd on the active compute backend
+// (docs/BACKENDS.md): the kernel accumulates into y, so seeding y with
+// the bias makes it compute b + x·W directly.
 void row_linear(const Linear& lin, const float* x, float* y) {
   const std::int64_t in = lin.weight.rows();
   const std::int64_t out = lin.weight.cols();
-  const float* w = lin.weight.data();
   const float* b = lin.bias.data();
   for (std::int64_t j = 0; j < out; ++j) y[j] = b[j];
-  for (std::int64_t i = 0; i < in; ++i) {
-    const float xi = x[i];
-    const float* wr = w + i * out;
-    for (std::int64_t j = 0; j < out; ++j) y[j] += xi * wr[j];
-  }
+  tensor::backend::active().matmul_fwd(x, lin.weight.data(), y, in, out, 0, 1);
   if (lin.lora_enabled()) {
     const std::int64_t rank = lin.lora_rank();
     const float* a = lin.lora_a.data();

@@ -1,0 +1,98 @@
+// Scalar reference backend: the exact loops tensor/ops.cpp ran before the
+// backend seam existed, so "scalar" results stay byte-identical to the
+// pre-backend library. Every other backend is judged against this one
+// (tolerance cross-checks in tests/test_backend.cpp and micro_tensor).
+#include "tensor/backend/backend.hpp"
+
+namespace dpoaf::tensor::backend {
+
+namespace {
+
+class ScalarBackend final : public ComputeBackend {
+ public:
+  ScalarBackend() : ComputeBackend("scalar") {}
+
+  [[nodiscard]] Kind kind() const override { return Kind::kScalar; }
+
+  void matmul_fwd(const float* a, const float* b, float* c, std::int64_t k,
+                  std::int64_t n, std::int64_t i0,
+                  std::int64_t i1) const override {
+    for (std::int64_t i = i0; i < i1; ++i) {
+      for (std::int64_t kk = 0; kk < k; ++kk) {
+        const float av = a[i * k + kk];
+        const float* pbr = b + kk * n;
+        float* pcr = c + i * n;
+        for (std::int64_t j = 0; j < n; ++j) pcr[j] += av * pbr[j];
+      }
+    }
+  }
+
+  void matmul_bwd_a(const float* gc, const float* b, float* ga, std::int64_t k,
+                    std::int64_t n, std::int64_t i0,
+                    std::int64_t i1) const override {
+    for (std::int64_t i = i0; i < i1; ++i) {
+      for (std::int64_t kk = 0; kk < k; ++kk) {
+        const float* gcr = gc + i * n;
+        const float* pbr = b + kk * n;
+        float acc = 0.0f;
+        for (std::int64_t j = 0; j < n; ++j) acc += gcr[j] * pbr[j];
+        ga[i * k + kk] += acc;
+      }
+    }
+  }
+
+  void matmul_bwd_b(const float* a, const float* gc, float* gb, std::int64_t m,
+                    std::int64_t k, std::int64_t n, std::int64_t k0,
+                    std::int64_t k1) const override {
+    for (std::int64_t i = 0; i < m; ++i) {
+      for (std::int64_t kk = k0; kk < k1; ++kk) {
+        const float av = a[i * k + kk];
+        const float* gcr = gc + i * n;
+        float* gbr = gb + kk * n;
+        for (std::int64_t j = 0; j < n; ++j) gbr[j] += av * gcr[j];
+      }
+    }
+  }
+
+  void ew_add(const float* a, const float* b, float* out, std::int64_t i0,
+              std::int64_t i1) const override {
+    for (std::int64_t i = i0; i < i1; ++i) out[i] = a[i] + b[i];
+  }
+
+  void ew_mul(const float* a, const float* b, float* out, std::int64_t i0,
+              std::int64_t i1) const override {
+    for (std::int64_t i = i0; i < i1; ++i) out[i] = a[i] * b[i];
+  }
+
+  void ew_scale(const float* a, float s, float* out, std::int64_t i0,
+                std::int64_t i1) const override {
+    for (std::int64_t i = i0; i < i1; ++i) out[i] = s * a[i];
+  }
+
+  void ew_axpy(float s, const float* a, float* out, std::int64_t i0,
+               std::int64_t i1) const override {
+    for (std::int64_t i = i0; i < i1; ++i) out[i] += s * a[i];
+  }
+
+  void ew_mul_acc(const float* a, const float* b, float* out, std::int64_t i0,
+                  std::int64_t i1) const override {
+    for (std::int64_t i = i0; i < i1; ++i) out[i] += a[i] * b[i];
+  }
+
+  void row_bias_add(const float* x, const float* bias, float* out,
+                    std::int64_t n, std::int64_t i0,
+                    std::int64_t i1) const override {
+    for (std::int64_t i = i0; i < i1; ++i)
+      for (std::int64_t j = 0; j < n; ++j)
+        out[i * n + j] = x[i * n + j] + bias[j];
+  }
+};
+
+}  // namespace
+
+const ComputeBackend& scalar_backend() {
+  static ScalarBackend backend;
+  return backend;
+}
+
+}  // namespace dpoaf::tensor::backend

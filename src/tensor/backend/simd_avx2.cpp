@@ -1,0 +1,335 @@
+// AVX2/FMA backend: register-blocked, cache-tiled microkernels for the
+// matmul paths plus 8-wide elementwise kernels. Compiled with
+// -mavx2 -mfma on x86 (see src/tensor/CMakeLists.txt); execution is
+// gated at runtime by cpuid in backend::simd_supported(), so carrying
+// the code in a generic build is safe.
+//
+// Determinism (the contract tests/test_backend.cpp pins): every output
+// element's arithmetic depends only on its absolute indices and the full
+// operand shapes — never on the thread-pool chunk bounds. Concretely:
+//  - each output row/cell owns its accumulator registers, and the
+//    register-blocked (MR rows) and remainder (1 row) paths run the same
+//    ascending-k FMA chain per element, so how rows group into blocks
+//    (which chunk bounds shift) cannot change any value;
+//  - column tiling (64/16/8-wide tiles, scalar tails) only groups
+//    independent columns into registers — it never alters a column's own
+//    FMA chain — and the scalar tails use std::fma, which rounds exactly
+//    like a vector FMA lane;
+//  - the K cache tiles spill accumulators to the float32 output between
+//    tiles — a lossless round-trip, so tiling never reorders a rounding.
+// Results *do* differ from the scalar backend (FMA fuses the multiply
+// and add into one rounding); that is the allowed cross-backend delta.
+#include "tensor/backend/backend.hpp"
+
+#if defined(__AVX2__) && defined(__FMA__)
+
+#include <immintrin.h>
+
+#include <cmath>
+
+namespace dpoaf::tensor::backend {
+
+namespace {
+
+// Microkernel shape: MR output rows × NR output columns of C stay in
+// registers across a K tile (MR·NR/8 = 8 accumulators + 2 B vectors +
+// broadcasts fit the 16 ymm registers).
+constexpr std::int64_t kMR = 4;
+constexpr std::int64_t kNR = 16;
+// K cache tile: one B panel (kKC × kNR floats = 16 KiB) stays L1-resident
+// while the microkernel sweeps its rows.
+constexpr std::int64_t kKC = 256;
+
+// Fixed-order horizontal sum of 8 lanes (pairwise tree, independent of
+// call-site context).
+float hsum8(__m256 v) {
+  const __m128 lo = _mm256_castps256_ps128(v);
+  const __m128 hi = _mm256_extractf128_ps(v, 1);
+  __m128 s = _mm_add_ps(lo, hi);
+  s = _mm_add_ps(s, _mm_movehl_ps(s, s));
+  s = _mm_add_ss(s, _mm_shuffle_ps(s, s, 0x1));
+  return _mm_cvtss_f32(s);
+}
+
+// C rows [i, i+R) × columns [j, j+16) over K tile [kc0, kc1); the
+// accumulators start from C (zero-filled by the caller, or the previous
+// K tile's exact float32 spill).
+template <std::int64_t R>
+void fwd_tile16(const float* a, const float* b, float* c, std::int64_t k,
+                std::int64_t n, std::int64_t i, std::int64_t j,
+                std::int64_t kc0, std::int64_t kc1) {
+  __m256 acc0[R], acc1[R];
+  for (std::int64_t r = 0; r < R; ++r) {
+    acc0[r] = _mm256_loadu_ps(c + (i + r) * n + j);
+    acc1[r] = _mm256_loadu_ps(c + (i + r) * n + j + 8);
+  }
+  for (std::int64_t kk = kc0; kk < kc1; ++kk) {
+    const __m256 b0 = _mm256_loadu_ps(b + kk * n + j);
+    const __m256 b1 = _mm256_loadu_ps(b + kk * n + j + 8);
+    for (std::int64_t r = 0; r < R; ++r) {
+      const __m256 av = _mm256_broadcast_ss(a + (i + r) * k + kk);
+      acc0[r] = _mm256_fmadd_ps(av, b0, acc0[r]);
+      acc1[r] = _mm256_fmadd_ps(av, b1, acc1[r]);
+    }
+  }
+  for (std::int64_t r = 0; r < R; ++r) {
+    _mm256_storeu_ps(c + (i + r) * n + j, acc0[r]);
+    _mm256_storeu_ps(c + (i + r) * n + j + 8, acc1[r]);
+  }
+}
+
+// Column tail: 8-wide then std::fma scalars; same per-element FMA chain
+// as the 16-wide path, so which tile a column lands in (a function of N
+// alone) is the only thing that varies.
+template <std::int64_t R>
+void fwd_tail(const float* a, const float* b, float* c, std::int64_t k,
+              std::int64_t n, std::int64_t i, std::int64_t j0,
+              std::int64_t kc0, std::int64_t kc1) {
+  std::int64_t j = j0;
+  for (; j + 8 <= n; j += 8) {
+    __m256 acc[R];
+    for (std::int64_t r = 0; r < R; ++r)
+      acc[r] = _mm256_loadu_ps(c + (i + r) * n + j);
+    for (std::int64_t kk = kc0; kk < kc1; ++kk) {
+      const __m256 bv = _mm256_loadu_ps(b + kk * n + j);
+      for (std::int64_t r = 0; r < R; ++r)
+        acc[r] = _mm256_fmadd_ps(_mm256_broadcast_ss(a + (i + r) * k + kk),
+                                 bv, acc[r]);
+    }
+    for (std::int64_t r = 0; r < R; ++r)
+      _mm256_storeu_ps(c + (i + r) * n + j, acc[r]);
+  }
+  for (; j < n; ++j) {
+    for (std::int64_t r = 0; r < R; ++r) {
+      float acc = c[(i + r) * n + j];
+      for (std::int64_t kk = kc0; kk < kc1; ++kk)
+        acc = std::fma(a[(i + r) * k + kk], b[kk * n + j], acc);
+      c[(i + r) * n + j] = acc;
+    }
+  }
+}
+
+template <std::int64_t R>
+void fwd_rows(const float* a, const float* b, float* c, std::int64_t k,
+              std::int64_t n, std::int64_t i, std::int64_t kc0,
+              std::int64_t kc1) {
+  std::int64_t j = 0;
+  for (; j + kNR <= n; j += kNR) fwd_tile16<R>(a, b, c, k, n, i, j, kc0, kc1);
+  if (j < n) fwd_tail<R>(a, b, c, k, n, i, j, kc0, kc1);
+}
+
+// Single-row path (remainder rows, and the m=1 matvec the KV-cache
+// decoder issues every token): with one row the 16-wide tile holds only
+// 2 accumulator chains — too few to hide FMA latency — so tile 64
+// columns (8 independent chains) first. Register grouping of independent
+// columns never changes a column's own ascending-kk FMA chain, so a row
+// computes the same bits here as inside a 4-row block.
+void fwd_row1(const float* a, const float* b, float* c, std::int64_t k,
+              std::int64_t n, std::int64_t i, std::int64_t kc0,
+              std::int64_t kc1) {
+  const float* ar = a + i * k;
+  float* cr = c + i * n;
+  std::int64_t j = 0;
+  for (; j + 64 <= n; j += 64) {
+    __m256 acc[8];
+    for (int t = 0; t < 8; ++t) acc[t] = _mm256_loadu_ps(cr + j + 8 * t);
+    for (std::int64_t kk = kc0; kk < kc1; ++kk) {
+      const __m256 av = _mm256_broadcast_ss(ar + kk);
+      const float* br = b + kk * n + j;
+      for (int t = 0; t < 8; ++t)
+        acc[t] = _mm256_fmadd_ps(av, _mm256_loadu_ps(br + 8 * t), acc[t]);
+    }
+    for (int t = 0; t < 8; ++t) _mm256_storeu_ps(cr + j + 8 * t, acc[t]);
+  }
+  for (; j + kNR <= n; j += kNR) fwd_tile16<1>(a, b, c, k, n, i, j, kc0, kc1);
+  if (j < n) fwd_tail<1>(a, b, c, k, n, i, j, kc0, kc1);
+}
+
+class SimdBackend final : public ComputeBackend {
+ public:
+  SimdBackend() : ComputeBackend("simd") {}
+
+  [[nodiscard]] Kind kind() const override { return Kind::kSimd; }
+
+  void matmul_fwd(const float* a, const float* b, float* c, std::int64_t k,
+                  std::int64_t n, std::int64_t i0,
+                  std::int64_t i1) const override {
+    for (std::int64_t kc0 = 0; kc0 < k; kc0 += kKC) {
+      const std::int64_t kc1 = kc0 + kKC < k ? kc0 + kKC : k;
+      std::int64_t i = i0;
+      for (; i + kMR <= i1; i += kMR)
+        fwd_rows<kMR>(a, b, c, k, n, i, kc0, kc1);
+      for (; i < i1; ++i) fwd_row1(a, b, c, k, n, i, kc0, kc1);
+    }
+  }
+
+  void matmul_bwd_a(const float* gc, const float* b, float* ga, std::int64_t k,
+                    std::int64_t n, std::int64_t i0,
+                    std::int64_t i1) const override {
+    // ga[i,kk] += ⟨gc[i,:], b[kk,:]⟩ — kk blocked by 4 to reuse each gc
+    // vector across four B rows; per-(i,kk) the j-ascending FMA chain,
+    // the hsum8 tree, and the scalar tail are identical in the blocked
+    // and remainder paths.
+    for (std::int64_t i = i0; i < i1; ++i) {
+      const float* gcr = gc + i * n;
+      std::int64_t kk = 0;
+      for (; kk + 4 <= k; kk += 4) {
+        __m256 acc[4] = {_mm256_setzero_ps(), _mm256_setzero_ps(),
+                         _mm256_setzero_ps(), _mm256_setzero_ps()};
+        std::int64_t j = 0;
+        for (; j + 8 <= n; j += 8) {
+          const __m256 g = _mm256_loadu_ps(gcr + j);
+          for (std::int64_t r = 0; r < 4; ++r)
+            acc[r] = _mm256_fmadd_ps(
+                g, _mm256_loadu_ps(b + (kk + r) * n + j), acc[r]);
+        }
+        for (std::int64_t r = 0; r < 4; ++r) {
+          float s = hsum8(acc[r]);
+          for (std::int64_t jt = j; jt < n; ++jt)
+            s = std::fma(gcr[jt], b[(kk + r) * n + jt], s);
+          ga[i * k + kk + r] += s;
+        }
+      }
+      for (; kk < k; ++kk) {
+        __m256 acc = _mm256_setzero_ps();
+        std::int64_t j = 0;
+        for (; j + 8 <= n; j += 8)
+          acc = _mm256_fmadd_ps(_mm256_loadu_ps(gcr + j),
+                                _mm256_loadu_ps(b + kk * n + j), acc);
+        float s = hsum8(acc);
+        for (; j < n; ++j) s = std::fma(gcr[j], b[kk * n + j], s);
+        ga[i * k + kk] += s;
+      }
+    }
+  }
+
+  void matmul_bwd_b(const float* a, const float* gc, float* gb, std::int64_t m,
+                    std::int64_t k, std::int64_t n, std::int64_t k0,
+                    std::int64_t k1) const override {
+    // gb[kk,j] += Σ_i a[i,kk]·gc[i,j]: a gb j-tile stays in registers
+    // while i ascends (the accumulation order every backend preserves);
+    // the i loop is innermost so each cell sees one fixed FMA chain.
+    for (std::int64_t kk = k0; kk < k1; ++kk) {
+      float* gbr = gb + kk * n;
+      std::int64_t j = 0;
+      for (; j + kNR <= n; j += kNR) {
+        __m256 acc0 = _mm256_loadu_ps(gbr + j);
+        __m256 acc1 = _mm256_loadu_ps(gbr + j + 8);
+        for (std::int64_t i = 0; i < m; ++i) {
+          const __m256 av = _mm256_broadcast_ss(a + i * k + kk);
+          acc0 = _mm256_fmadd_ps(av, _mm256_loadu_ps(gc + i * n + j), acc0);
+          acc1 = _mm256_fmadd_ps(av, _mm256_loadu_ps(gc + i * n + j + 8),
+                                 acc1);
+        }
+        _mm256_storeu_ps(gbr + j, acc0);
+        _mm256_storeu_ps(gbr + j + 8, acc1);
+      }
+      for (; j + 8 <= n; j += 8) {
+        __m256 acc = _mm256_loadu_ps(gbr + j);
+        for (std::int64_t i = 0; i < m; ++i)
+          acc = _mm256_fmadd_ps(_mm256_broadcast_ss(a + i * k + kk),
+                                _mm256_loadu_ps(gc + i * n + j), acc);
+        _mm256_storeu_ps(gbr + j, acc);
+      }
+      for (; j < n; ++j) {
+        float acc = gbr[j];
+        for (std::int64_t i = 0; i < m; ++i)
+          acc = std::fma(a[i * k + kk], gc[i * n + j], acc);
+        gbr[j] = acc;
+      }
+    }
+  }
+
+  // The elementwise kernels are per-element (no reductions), so vector
+  // grouping — which does shift with the chunk base — cannot change any
+  // value; add/mul/scale round exactly like scalar, axpy/mul_acc fuse.
+  void ew_add(const float* a, const float* b, float* out, std::int64_t i0,
+              std::int64_t i1) const override {
+    std::int64_t i = i0;
+    for (; i + 8 <= i1; i += 8)
+      _mm256_storeu_ps(out + i, _mm256_add_ps(_mm256_loadu_ps(a + i),
+                                              _mm256_loadu_ps(b + i)));
+    for (; i < i1; ++i) out[i] = a[i] + b[i];
+  }
+
+  void ew_mul(const float* a, const float* b, float* out, std::int64_t i0,
+              std::int64_t i1) const override {
+    std::int64_t i = i0;
+    for (; i + 8 <= i1; i += 8)
+      _mm256_storeu_ps(out + i, _mm256_mul_ps(_mm256_loadu_ps(a + i),
+                                              _mm256_loadu_ps(b + i)));
+    for (; i < i1; ++i) out[i] = a[i] * b[i];
+  }
+
+  void ew_scale(const float* a, float s, float* out, std::int64_t i0,
+                std::int64_t i1) const override {
+    const __m256 sv = _mm256_set1_ps(s);
+    std::int64_t i = i0;
+    for (; i + 8 <= i1; i += 8)
+      _mm256_storeu_ps(out + i, _mm256_mul_ps(sv, _mm256_loadu_ps(a + i)));
+    for (; i < i1; ++i) out[i] = s * a[i];
+  }
+
+  void ew_axpy(float s, const float* a, float* out, std::int64_t i0,
+               std::int64_t i1) const override {
+    const __m256 sv = _mm256_set1_ps(s);
+    std::int64_t i = i0;
+    for (; i + 8 <= i1; i += 8)
+      _mm256_storeu_ps(out + i,
+                       _mm256_fmadd_ps(sv, _mm256_loadu_ps(a + i),
+                                       _mm256_loadu_ps(out + i)));
+    for (; i < i1; ++i) out[i] = std::fma(s, a[i], out[i]);
+  }
+
+  void ew_mul_acc(const float* a, const float* b, float* out, std::int64_t i0,
+                  std::int64_t i1) const override {
+    std::int64_t i = i0;
+    for (; i + 8 <= i1; i += 8)
+      _mm256_storeu_ps(out + i,
+                       _mm256_fmadd_ps(_mm256_loadu_ps(a + i),
+                                       _mm256_loadu_ps(b + i),
+                                       _mm256_loadu_ps(out + i)));
+    for (; i < i1; ++i) out[i] = std::fma(a[i], b[i], out[i]);
+  }
+
+  void row_bias_add(const float* x, const float* bias, float* out,
+                    std::int64_t n, std::int64_t i0,
+                    std::int64_t i1) const override {
+    for (std::int64_t i = i0; i < i1; ++i) {
+      const float* xr = x + i * n;
+      float* outr = out + i * n;
+      std::int64_t j = 0;
+      for (; j + 8 <= n; j += 8)
+        _mm256_storeu_ps(outr + j, _mm256_add_ps(_mm256_loadu_ps(xr + j),
+                                                 _mm256_loadu_ps(bias + j)));
+      for (; j < n; ++j) outr[j] = xr[j] + bias[j];
+    }
+  }
+};
+
+}  // namespace
+
+namespace detail {
+
+const ComputeBackend* simd_backend_impl() {
+  static SimdBackend backend;
+  return &backend;
+}
+
+bool simd_compiled() { return true; }
+
+}  // namespace detail
+
+}  // namespace dpoaf::tensor::backend
+
+#else  // !(__AVX2__ && __FMA__): generic build — stub out the backend.
+
+namespace dpoaf::tensor::backend::detail {
+
+const ComputeBackend* simd_backend_impl() { return nullptr; }
+
+bool simd_compiled() { return false; }
+
+}  // namespace dpoaf::tensor::backend::detail
+
+#endif

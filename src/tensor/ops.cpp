@@ -6,6 +6,7 @@
 #include <string>
 
 #include "obs/metrics.hpp"
+#include "tensor/backend/backend.hpp"
 #include "util/threadpool.hpp"
 
 namespace dpoaf::tensor::ops {
@@ -50,28 +51,26 @@ Tensor matmul(Tape* tape, const Tensor& a, const Tensor& b) {
                              b.shape()));
   const std::int64_t m = a.rows(), k = a.cols(), n = b.cols();
   // Throughput telemetry (counts only; obs::counter is a no-op when
-  // observability is off): calls and multiply-add flops of the forward.
+  // observability is off): calls and multiply-add flops of the forward,
+  // totalled and broken out per backend (docs/BACKENDS.md).
   static obs::Counter& fwd_calls = obs::counter("tensor.matmul.calls");
   static obs::Counter& fwd_flops = obs::counter("tensor.matmul.flops");
+  const backend::ComputeBackend& be = backend::active();
   fwd_calls.add();
   fwd_flops.add(static_cast<std::uint64_t>(2 * m * k * n));
+  be.matmul_counters().fwd_calls.add();
+  be.matmul_counters().fwd_flops.add(static_cast<std::uint64_t>(2 * m * k * n));
   Tensor c = Tensor::zeros({m, n});
   {
     const float* pa = a.data();
     const float* pb = b.data();
     float* pc = c.data();
-    // Row partition: each output row is produced by exactly one chunk, in
-    // the serial kk/j order, so the result is thread-count-invariant.
+    // Row partition: each output row is produced by exactly one chunk, and
+    // backend kernels keep per-element arithmetic independent of the chunk
+    // bounds, so the result is thread-count-invariant per backend.
     util::parallel_for(0, m, row_grain(2 * k * n),
                        [&](std::int64_t i0, std::int64_t i1) {
-      for (std::int64_t i = i0; i < i1; ++i) {
-        for (std::int64_t kk = 0; kk < k; ++kk) {
-          const float av = pa[i * k + kk];
-          const float* pbr = pb + kk * n;
-          float* pcr = pc + i * n;
-          for (std::int64_t j = 0; j < n; ++j) pcr[j] += av * pbr[j];
-        }
-      }
+      be.matmul_fwd(pa, pb, pc, k, n, i0, i1);
     });
   }
   if (track(tape, {&a, &b})) {
@@ -81,10 +80,14 @@ Tensor matmul(Tape* tape, const Tensor& a, const Tensor& b) {
       const std::int64_t m = at.rows(), k = at.cols(), n = bt.cols();
       static obs::Counter& bwd_calls = obs::counter("tensor.matmul.bwd_calls");
       static obs::Counter& bwd_flops = obs::counter("tensor.matmul.bwd_flops");
-      bwd_calls.add();
-      bwd_flops.add(static_cast<std::uint64_t>(
+      const backend::ComputeBackend& be = backend::active();
+      const auto flops = static_cast<std::uint64_t>(
           2 * m * k * n * ((at.requires_grad() ? 1 : 0) +
-                           (bt.requires_grad() ? 1 : 0))));
+                           (bt.requires_grad() ? 1 : 0)));
+      bwd_calls.add();
+      bwd_flops.add(flops);
+      be.matmul_counters().bwd_calls.add();
+      be.matmul_counters().bwd_flops.add(flops);
       const float* gc = ct.grad();
       if (at.requires_grad()) {
         float* ga = at.grad();
@@ -93,33 +96,18 @@ Tensor matmul(Tape* tape, const Tensor& a, const Tensor& b) {
         // belongs to one chunk and the j-reduction order is unchanged.
         util::parallel_for(0, m, row_grain(2 * k * n),
                            [&](std::int64_t i0, std::int64_t i1) {
-          for (std::int64_t i = i0; i < i1; ++i) {
-            for (std::int64_t kk = 0; kk < k; ++kk) {
-              const float* gcr = gc + i * n;
-              const float* pbr = pb + kk * n;
-              float acc = 0.0f;
-              for (std::int64_t j = 0; j < n; ++j) acc += gcr[j] * pbr[j];
-              ga[i * k + kk] += acc;
-            }
-          }
+          be.matmul_bwd_a(gc, pb, ga, k, n, i0, i1);
         });
       }
       if (bt.requires_grad()) {
         float* gb = bt.grad();
         const float* pa = at.data();
         // dB[kk,j] += Σ_i A[i,kk] · gC[i,j] — partition over kk (dB rows) so
-        // no two chunks touch the same accumulator; i stays the outer loop,
-        // preserving the serial i-ascending accumulation order per cell.
+        // no two chunks touch the same accumulator; i stays the inner serial
+        // loop, preserving the i-ascending accumulation order per cell.
         util::parallel_for(0, k, row_grain(2 * m * n),
                            [&](std::int64_t k0, std::int64_t k1) {
-          for (std::int64_t i = 0; i < m; ++i) {
-            for (std::int64_t kk = k0; kk < k1; ++kk) {
-              const float av = pa[i * k + kk];
-              const float* gcr = gc + i * n;
-              float* gbr = gb + kk * n;
-              for (std::int64_t j = 0; j < n; ++j) gbr[j] += av * gcr[j];
-            }
-          }
+          be.matmul_bwd_b(pa, gc, gb, m, k, n, k0, k1);
         });
       }
     });
@@ -131,28 +119,29 @@ Tensor add(Tape* tape, const Tensor& a, const Tensor& b) {
   DPOAF_CHECK_MSG(a.shape() == b.shape(),
                   shapes_msg("add: shape mismatch", a.shape(), b.shape()));
   Tensor c = Tensor::zeros(a.shape());
+  const backend::ComputeBackend& be = backend::active();
   util::parallel_for(0, a.numel(), kGrainFlops,
                      [&](std::int64_t i0, std::int64_t i1) {
-    for (std::int64_t i = i0; i < i1; ++i)
-      c.data()[i] = a.data()[i] + b.data()[i];
+    be.ew_add(a.data(), b.data(), c.data(), i0, i1);
   });
   if (track(tape, {&a, &b})) {
     c.set_requires_grad(true);
     Tensor at = a, bt = b, ct = c;
     tape->record([at, bt, ct]() mutable {
+      const backend::ComputeBackend& be = backend::active();
       const float* gc = ct.grad();
       if (at.requires_grad()) {
         float* ga = at.grad();
         util::parallel_for(0, at.numel(), kGrainFlops,
                            [&](std::int64_t i0, std::int64_t i1) {
-          for (std::int64_t i = i0; i < i1; ++i) ga[i] += gc[i];
+          be.ew_axpy(1.0f, gc, ga, i0, i1);
         });
       }
       if (bt.requires_grad()) {
         float* gb = bt.grad();
         util::parallel_for(0, bt.numel(), kGrainFlops,
                            [&](std::int64_t i0, std::int64_t i1) {
-          for (std::int64_t i = i0; i < i1; ++i) gb[i] += gc[i];
+          be.ew_axpy(1.0f, gc, gb, i0, i1);
         });
       }
     });
@@ -167,23 +156,23 @@ Tensor add_rowwise(Tape* tape, const Tensor& x, const Tensor& bias) {
                  bias.shape()));
   Tensor c = Tensor::zeros(x.shape());
   const std::int64_t m = x.rows(), n = x.cols();
+  const backend::ComputeBackend& be = backend::active();
   util::parallel_for(0, m, row_grain(n),
                      [&](std::int64_t i0, std::int64_t i1) {
-    for (std::int64_t i = i0; i < i1; ++i)
-      for (std::int64_t j = 0; j < n; ++j)
-        c.data()[i * n + j] = x.data()[i * n + j] + bias.data()[j];
+    be.row_bias_add(x.data(), bias.data(), c.data(), n, i0, i1);
   });
   if (track(tape, {&x, &bias})) {
     c.set_requires_grad(true);
     Tensor xt = x, bt = bias, ct = c;
     tape->record([xt, bt, ct]() mutable {
       const std::int64_t m = xt.rows(), n = xt.cols();
+      const backend::ComputeBackend& be = backend::active();
       const float* gc = ct.grad();
       if (xt.requires_grad()) {
         float* gx = xt.grad();
         util::parallel_for(0, m * n, kGrainFlops,
                            [&](std::int64_t i0, std::int64_t i1) {
-          for (std::int64_t i = i0; i < i1; ++i) gx[i] += gc[i];
+          be.ew_axpy(1.0f, gc, gx, i0, i1);
         });
       }
       if (bt.requires_grad()) {
@@ -202,28 +191,29 @@ Tensor mul(Tape* tape, const Tensor& a, const Tensor& b) {
   DPOAF_CHECK_MSG(a.shape() == b.shape(),
                   shapes_msg("mul: shape mismatch", a.shape(), b.shape()));
   Tensor c = Tensor::zeros(a.shape());
+  const backend::ComputeBackend& be = backend::active();
   util::parallel_for(0, a.numel(), kGrainFlops,
                      [&](std::int64_t i0, std::int64_t i1) {
-    for (std::int64_t i = i0; i < i1; ++i)
-      c.data()[i] = a.data()[i] * b.data()[i];
+    be.ew_mul(a.data(), b.data(), c.data(), i0, i1);
   });
   if (track(tape, {&a, &b})) {
     c.set_requires_grad(true);
     Tensor at = a, bt = b, ct = c;
     tape->record([at, bt, ct]() mutable {
+      const backend::ComputeBackend& be = backend::active();
       const float* gc = ct.grad();
       if (at.requires_grad()) {
         float* ga = at.grad();
         util::parallel_for(0, at.numel(), kGrainFlops,
                            [&](std::int64_t i0, std::int64_t i1) {
-          for (std::int64_t i = i0; i < i1; ++i) ga[i] += gc[i] * bt.data()[i];
+          be.ew_mul_acc(gc, bt.data(), ga, i0, i1);
         });
       }
       if (bt.requires_grad()) {
         float* gb = bt.grad();
         util::parallel_for(0, bt.numel(), kGrainFlops,
                            [&](std::int64_t i0, std::int64_t i1) {
-          for (std::int64_t i = i0; i < i1; ++i) gb[i] += gc[i] * at.data()[i];
+          be.ew_mul_acc(gc, at.data(), gb, i0, i1);
         });
       }
     });
@@ -237,9 +227,10 @@ Tensor sub(Tape* tape, const Tensor& a, const Tensor& b) {
 
 Tensor scale(Tape* tape, const Tensor& a, float s) {
   Tensor c = Tensor::zeros(a.shape());
+  const backend::ComputeBackend& be = backend::active();
   util::parallel_for(0, a.numel(), kGrainFlops,
                      [&](std::int64_t i0, std::int64_t i1) {
-    for (std::int64_t i = i0; i < i1; ++i) c.data()[i] = s * a.data()[i];
+    be.ew_scale(a.data(), s, c.data(), i0, i1);
   });
   if (track(tape, {&a})) {
     c.set_requires_grad(true);
@@ -250,7 +241,7 @@ Tensor scale(Tape* tape, const Tensor& a, float s) {
       const float* gc = ct.grad();
       util::parallel_for(0, at.numel(), kGrainFlops,
                          [&](std::int64_t i0, std::int64_t i1) {
-        for (std::int64_t i = i0; i < i1; ++i) ga[i] += s * gc[i];
+        backend::active().ew_axpy(s, gc, ga, i0, i1);
       });
     });
   }

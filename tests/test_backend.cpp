@@ -1,0 +1,308 @@
+// Compute-backend contract (docs/BACKENDS.md): selection precedence,
+// cpuid dispatch, per-backend cross-thread bitwise determinism (on odd
+// shapes, so microkernel remainder paths land on different rows as the
+// chunk bounds move), scalar-vs-simd numerical tolerance, and the
+// per-backend observability counters/gauges.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "obs/metrics.hpp"
+#include "tensor/backend/backend.hpp"
+#include "tensor/ops.hpp"
+#include "util/check.hpp"
+#include "util/rng.hpp"
+#include "util/threadpool.hpp"
+
+namespace dpoaf {
+namespace {
+
+using tensor::Tape;
+using tensor::Tensor;
+namespace ops = tensor::ops;
+namespace backend = tensor::backend;
+
+// Every test leaves the process on the scalar backend / serial pool so
+// suite-internal ordering cannot leak state.
+class BackendTest : public ::testing::Test {
+ protected:
+  void TearDown() override {
+    backend::select("scalar");
+    util::set_global_threads(1);
+  }
+};
+
+void expect_bitwise_equal(const Tensor& a, const Tensor& b) {
+  ASSERT_EQ(a.shape(), b.shape());
+  EXPECT_EQ(std::memcmp(a.data(), b.data(),
+                        sizeof(float) * static_cast<std::size_t>(a.numel())),
+            0);
+}
+
+// Largest elementwise difference, relative to max(|element|, tensor
+// magnitude): near-zero elements (catastrophic cancellation in long dot
+// products) are judged against the tensor's scale, not their own.
+double max_rel_diff(const Tensor& got, const Tensor& want) {
+  double scale = 1e-6;
+  for (std::int64_t i = 0; i < want.numel(); ++i)
+    scale = std::max(scale, std::abs(static_cast<double>(want.data()[i])));
+  double worst = 0.0;
+  for (std::int64_t i = 0; i < want.numel(); ++i) {
+    const double w = want.data()[i];
+    const double d = std::abs(static_cast<double>(got.data()[i]) - w);
+    worst = std::max(worst, d / std::max(std::abs(w), scale));
+  }
+  return worst;
+}
+
+std::vector<std::string> available_backends() {
+  std::vector<std::string> out = {"scalar"};
+  if (backend::simd_supported()) out.push_back("simd");
+  return out;
+}
+
+TEST_F(BackendTest, ScalarAlwaysAvailableAndSelectable) {
+  backend::select("scalar");
+  EXPECT_EQ(backend::active_kind(), backend::Kind::kScalar);
+  EXPECT_STREQ(backend::active().name(), "scalar");
+}
+
+TEST_F(BackendTest, AutoResolvesToSimdExactlyWhenSupported) {
+  backend::select("auto");
+  const backend::Kind want = backend::simd_supported()
+                                 ? backend::Kind::kSimd
+                                 : backend::Kind::kScalar;
+  EXPECT_EQ(backend::active_kind(), want);
+}
+
+TEST_F(BackendTest, ExplicitSimdSelectsOrFailsLoudly) {
+  if (backend::simd_supported()) {
+    backend::select("simd");
+    EXPECT_EQ(backend::active_kind(), backend::Kind::kSimd);
+    EXPECT_STREQ(backend::active().name(), "simd");
+  } else {
+    EXPECT_THROW(backend::select("simd"), ContractViolation);
+  }
+}
+
+TEST_F(BackendTest, UnknownBackendNameIsRejected) {
+  EXPECT_THROW(backend::select("gpu"), ContractViolation);
+  EXPECT_THROW(backend::select("SIMD"), ContractViolation);
+}
+
+TEST_F(BackendTest, EmptySelectionDefersToEnvironment) {
+  ASSERT_EQ(setenv("DPOAF_BACKEND", "scalar", 1), 0);
+  backend::select("");
+  EXPECT_EQ(backend::active_kind(), backend::Kind::kScalar);
+  if (backend::simd_supported()) {
+    ASSERT_EQ(setenv("DPOAF_BACKEND", "simd", 1), 0);
+    backend::select("");
+    EXPECT_EQ(backend::active_kind(), backend::Kind::kSimd);
+  }
+  ASSERT_EQ(setenv("DPOAF_BACKEND", "bogus", 1), 0);
+  EXPECT_THROW(backend::select(""), ContractViolation);
+  ASSERT_EQ(unsetenv("DPOAF_BACKEND"), 0);
+  backend::select("");  // no env ⇒ auto
+  const backend::Kind want = backend::simd_supported()
+                                 ? backend::Kind::kSimd
+                                 : backend::Kind::kScalar;
+  EXPECT_EQ(backend::active_kind(), want);
+}
+
+// Deliberately awkward shapes: odd dims exercise the 8-wide and scalar
+// column tails, and rows that are remainder rows at one thread count are
+// interior rows of a microkernel block at another.
+struct MatmulCase {
+  std::int64_t m, k, n;
+};
+const MatmulCase kShapes[] = {
+    {1, 1, 1}, {3, 5, 2}, {7, 13, 9}, {61, 53, 67}, {96, 96, 96},
+    {64, 96, 80}, {33, 257, 19},
+};
+
+TEST_F(BackendTest, SimdMatmulMatchesScalarWithinTolerance) {
+  if (!backend::simd_supported()) GTEST_SKIP() << "no AVX2+FMA";
+  for (const MatmulCase& shape : kShapes) {
+    Rng rng(17);
+    Tensor a = Tensor::randn({shape.m, shape.k}, rng);
+    Tensor b = Tensor::randn({shape.k, shape.n}, rng);
+    backend::select("scalar");
+    Tensor want = ops::matmul(nullptr, a, b);
+    backend::select("simd");
+    Tensor got = ops::matmul(nullptr, a, b);
+    EXPECT_LT(max_rel_diff(got, want), 1e-4)
+        << shape.m << "x" << shape.k << "x" << shape.n;
+  }
+}
+
+TEST_F(BackendTest, SimdMatmulGradsMatchScalarWithinTolerance) {
+  if (!backend::simd_supported()) GTEST_SKIP() << "no AVX2+FMA";
+  auto grads = [](const MatmulCase& shape) {
+    Rng rng(19);
+    Tensor a = Tensor::randn({shape.m, shape.k}, rng).set_requires_grad(true);
+    Tensor b = Tensor::randn({shape.k, shape.n}, rng).set_requires_grad(true);
+    Tape tape;
+    Tensor loss = ops::sum(&tape, ops::matmul(&tape, a, b));
+    tape.backward(loss);
+    Tensor ga = Tensor::from(
+        a.shape(), std::vector<float>(a.grad(), a.grad() + a.numel()));
+    Tensor gb = Tensor::from(
+        b.shape(), std::vector<float>(b.grad(), b.grad() + b.numel()));
+    return std::make_pair(ga, gb);
+  };
+  for (const MatmulCase& shape : kShapes) {
+    backend::select("scalar");
+    auto want = grads(shape);
+    backend::select("simd");
+    auto got = grads(shape);
+    EXPECT_LT(max_rel_diff(got.first, want.first), 1e-4);
+    EXPECT_LT(max_rel_diff(got.second, want.second), 1e-4);
+  }
+}
+
+TEST_F(BackendTest, ElementwiseOpsMatchScalarWithinTolerance) {
+  if (!backend::simd_supported()) GTEST_SKIP() << "no AVX2+FMA";
+  auto run = [] {
+    Rng rng(23);
+    Tensor x = Tensor::randn({37, 41}, rng).set_requires_grad(true);
+    Tensor y = Tensor::randn({37, 41}, rng).set_requires_grad(true);
+    Tensor bias = Tensor::randn({1, 41}, rng);
+    Tape tape;
+    Tensor h = ops::add_rowwise(
+        &tape, ops::add(&tape, ops::mul(&tape, x, y), ops::scale(&tape, y, 0.3f)),
+        bias);
+    Tensor loss = ops::sum(&tape, h);
+    tape.backward(loss);
+    Tensor gx = Tensor::from(
+        x.shape(), std::vector<float>(x.grad(), x.grad() + x.numel()));
+    return std::make_pair(h.clone(), gx);
+  };
+  backend::select("scalar");
+  auto want = run();
+  backend::select("simd");
+  auto got = run();
+  EXPECT_LT(max_rel_diff(got.first, want.first), 1e-5);
+  EXPECT_LT(max_rel_diff(got.second, want.second), 1e-5);
+}
+
+// The determinism half of the contract: per backend, results are bitwise
+// identical across thread counts. Thread counts 1/3/4 shift the chunk
+// bounds through every remainder-path alignment of the 61/53/67 shapes.
+TEST_F(BackendTest, MatmulBitwiseAcrossThreadCountsPerBackend) {
+  for (const std::string& be : available_backends()) {
+    backend::select(be);
+    for (const MatmulCase& shape : kShapes) {
+      auto run = [&shape] {
+        Rng rng(29);
+        Tensor a = Tensor::randn({shape.m, shape.k}, rng);
+        Tensor b = Tensor::randn({shape.k, shape.n}, rng);
+        // Grain 1: at 3/4 threads the row partition actually splits even
+        // the tiny shapes.
+        Tensor c = Tensor::zeros({shape.m, shape.n});
+        util::parallel_for(0, shape.m, 1,
+                           [&](std::int64_t i0, std::int64_t i1) {
+          backend::active().matmul_fwd(a.data(), b.data(), c.data(), shape.k,
+                                       shape.n, i0, i1);
+        });
+        return c;
+      };
+      util::set_global_threads(1);
+      Tensor serial = run();
+      for (int threads : {3, 4}) {
+        util::set_global_threads(threads);
+        Tensor parallel = run();
+        expect_bitwise_equal(serial, parallel);
+      }
+    }
+  }
+}
+
+TEST_F(BackendTest, MatmulGradsBitwiseAcrossThreadCountsPerBackend) {
+  for (const std::string& be : available_backends()) {
+    backend::select(be);
+    auto run = [] {
+      Rng rng(31);
+      Tensor a = Tensor::randn({61, 53}, rng).set_requires_grad(true);
+      Tensor b = Tensor::randn({53, 67}, rng).set_requires_grad(true);
+      Tape tape;
+      Tensor loss = ops::sum(&tape, ops::matmul(&tape, a, b));
+      tape.backward(loss);
+      Tensor ga = Tensor::from(
+          a.shape(), std::vector<float>(a.grad(), a.grad() + a.numel()));
+      Tensor gb = Tensor::from(
+          b.shape(), std::vector<float>(b.grad(), b.grad() + b.numel()));
+      return std::make_pair(ga, gb);
+    };
+    util::set_global_threads(1);
+    auto serial = run();
+    util::set_global_threads(4);
+    auto parallel = run();
+    expect_bitwise_equal(serial.first, parallel.first);
+    expect_bitwise_equal(serial.second, parallel.second);
+  }
+}
+
+TEST_F(BackendTest, ElementwiseBitwiseAcrossThreadCountsPerBackend) {
+  for (const std::string& be : available_backends()) {
+    backend::select(be);
+    auto run = [] {
+      Rng rng(37);
+      Tensor x = Tensor::randn({123, 131}, rng).set_requires_grad(true);
+      Tensor y = Tensor::randn({123, 131}, rng).set_requires_grad(true);
+      Tape tape;
+      Tensor h = ops::add(&tape, ops::mul(&tape, x, y),
+                          ops::scale(&tape, x, -0.7f));
+      Tensor loss = ops::sum(&tape, h);
+      tape.backward(loss);
+      Tensor gx = Tensor::from(
+          x.shape(), std::vector<float>(x.grad(), x.grad() + x.numel()));
+      return std::make_pair(h.clone(), gx);
+    };
+    util::set_global_threads(1);
+    auto serial = run();
+    util::set_global_threads(4);
+    auto parallel = run();
+    expect_bitwise_equal(serial.first, parallel.first);
+    expect_bitwise_equal(serial.second, parallel.second);
+  }
+}
+
+// Per-backend matmul telemetry: calls/flops land on the selected
+// backend's counters, and the active gauge tracks selection.
+TEST_F(BackendTest, PerBackendCountersAndActiveGauge) {
+  obs::set_enabled(true);
+  auto& registry = obs::MetricsRegistry::instance();
+  for (const std::string& be : available_backends()) {
+    backend::select(be);
+    obs::Counter& calls = registry.counter("tensor.matmul.calls." + be);
+    obs::Counter& flops = registry.counter("tensor.matmul.flops." + be);
+    obs::Counter& bwd_calls =
+        registry.counter("tensor.matmul.bwd_calls." + be);
+    const std::uint64_t calls0 = calls.value();
+    const std::uint64_t flops0 = flops.value();
+    const std::uint64_t bwd0 = bwd_calls.value();
+
+    Rng rng(41);
+    Tensor a = Tensor::randn({8, 8}, rng).set_requires_grad(true);
+    Tensor b = Tensor::randn({8, 8}, rng).set_requires_grad(true);
+    Tape tape;
+    Tensor loss = ops::sum(&tape, ops::matmul(&tape, a, b));
+    tape.backward(loss);
+
+    EXPECT_EQ(calls.value(), calls0 + 1);
+    EXPECT_EQ(flops.value(), flops0 + 2 * 8 * 8 * 8);
+    EXPECT_EQ(bwd_calls.value(), bwd0 + 1);
+    EXPECT_EQ(registry.gauge("tensor.backend.active").value(),
+              be == "simd" ? 1 : 0);
+  }
+  EXPECT_EQ(registry.gauge("tensor.backend.simd_supported").value(),
+            backend::simd_supported() ? 1 : 0);
+}
+
+}  // namespace
+}  // namespace dpoaf

@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "core/pipeline.hpp"
+#include "tensor/backend/backend.hpp"
 #include "tensor/ops.hpp"
 #include "util/threadpool.hpp"
 
@@ -19,6 +20,17 @@ namespace {
 using tensor::Tape;
 using tensor::Tensor;
 namespace ops = tensor::ops;
+namespace backend = tensor::backend;
+
+// The 1-vs-N bitwise contract holds per compute backend (docs/BACKENDS.md):
+// run `fn` under scalar and — when the CPU supports it — simd, restoring
+// the scalar backend afterwards.
+template <typename Fn>
+void for_each_backend(Fn fn) {
+  fn("scalar");
+  if (backend::simd_supported()) fn("simd");
+  backend::select("scalar");
+}
 
 TEST(ThreadPool, ParallelForCoversRangeExactlyOnce) {
   util::ThreadPool pool(4);
@@ -74,13 +86,16 @@ void expect_bitwise_equal(const Tensor& a, const Tensor& b) {
 }
 
 TEST(Determinism, MatmulForwardBitwiseAcrossThreadCounts) {
-  auto [serial, parallel] = with_both_thread_counts([] {
-    Rng rng(7);
-    Tensor a = Tensor::randn({96, 96}, rng);
-    Tensor b = Tensor::randn({96, 96}, rng);
-    return ops::matmul(nullptr, a, b);
+  for_each_backend([](const char* be) {
+    backend::select(be);
+    auto [serial, parallel] = with_both_thread_counts([] {
+      Rng rng(7);
+      Tensor a = Tensor::randn({96, 96}, rng);
+      Tensor b = Tensor::randn({96, 96}, rng);
+      return ops::matmul(nullptr, a, b);
+    });
+    expect_bitwise_equal(serial, parallel);
   });
-  expect_bitwise_equal(serial, parallel);
 }
 
 TEST(Determinism, MatmulBackwardGradsBitwiseAcrossThreadCounts) {
@@ -98,9 +113,12 @@ TEST(Determinism, MatmulBackwardGradsBitwiseAcrossThreadCounts) {
         b.shape(), std::vector<float>(b.grad(), b.grad() + b.numel()));
     return std::make_pair(ga, gb);
   };
-  auto [serial, parallel] = with_both_thread_counts(run);
-  expect_bitwise_equal(serial.first, parallel.first);
-  expect_bitwise_equal(serial.second, parallel.second);
+  for_each_backend([&](const char* be) {
+    backend::select(be);
+    auto [serial, parallel] = with_both_thread_counts(run);
+    expect_bitwise_equal(serial.first, parallel.first);
+    expect_bitwise_equal(serial.second, parallel.second);
+  });
 }
 
 TEST(Determinism, ElementwiseAndRowOpsBitwiseAcrossThreadCounts) {
@@ -121,9 +139,12 @@ TEST(Determinism, ElementwiseAndRowOpsBitwiseAcrossThreadCounts) {
         x.shape(), std::vector<float>(x.grad(), x.grad() + x.numel()));
     return std::make_pair(out, gx);
   };
-  auto [serial, parallel] = with_both_thread_counts(run);
-  expect_bitwise_equal(serial.first, parallel.first);
-  expect_bitwise_equal(serial.second, parallel.second);
+  for_each_backend([&](const char* be) {
+    backend::select(be);
+    auto [serial, parallel] = with_both_thread_counts(run);
+    expect_bitwise_equal(serial.first, parallel.first);
+    expect_bitwise_equal(serial.second, parallel.second);
+  });
 }
 
 // End-to-end: the full DPO-AF loop (pretrain → candidates → pairs → DPO →
