@@ -6,8 +6,12 @@
 // Usage: finetune_pipeline [--epochs N] [--seed N]
 //                          [--metrics-json PATH] [--trace-json PATH]
 //                          [--checkpoint-dir DIR] [--checkpoint-every N]
-//                          [--resume [PATH]]
+//                          [--resume [PATH]] [--streaming | --phased]
 // (defaults are sized to finish in about a minute on a laptop core)
+//
+// --streaming (the default) runs sample→synthesize→verify→rank as a
+// bounded-queue dataflow; --phased restores the barriered phases. Both
+// produce bitwise-identical results (docs/PIPELINE.md).
 //
 // --metrics-json writes a dpoaf.run_report JSON document (metric counters,
 // per-phase wall times, per-epoch loss/KL series); --trace-json writes a
@@ -49,6 +53,8 @@ int main(int argc, char** argv) {
       cfg.checkpoint_dir = argv[i + 1];
     if (arg == "--checkpoint-every" && i + 1 < argc)
       cfg.checkpoint_every_epochs = std::atoi(argv[i + 1]);
+    if (arg == "--streaming") cfg.streaming = true;
+    if (arg == "--phased") cfg.streaming = false;
     if (arg == "--resume") {
       resume = true;
       // Optional explicit snapshot path; defaults to --checkpoint-dir.

@@ -22,8 +22,11 @@ DEFAULT_DOCS = [
     "EXPERIMENTS.md",
     "ROADMAP.md",
     "docs/ARCHITECTURE.md",
+    "docs/BACKENDS.md",
     "docs/CHECKPOINT_FORMAT.md",
+    "docs/PIPELINE.md",
     "docs/RUN_REPORT_SCHEMA.md",
+    "docs/SERVING.md",
     "docs/VERIFICATION.md",
 ]
 

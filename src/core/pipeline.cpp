@@ -1,7 +1,15 @@
 #include "core/pipeline.hpp"
 
 #include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <utility>
 
+#include "core/dataflow/channel.hpp"
+#include "core/dataflow/reorder.hpp"
+#include "core/dataflow/stage.hpp"
 #include "modelcheck/buchi.hpp"
 #include "monitor/monitor.hpp"
 #include "obs/metrics.hpp"
@@ -138,7 +146,16 @@ lm::PretrainStats DpoAfPipeline::pretrain_model() {
 
 lm::PretrainStats DpoAfPipeline::pretrain_model_impl(
     const lm::PretrainState* resume) {
-  obs::Span span("pretrain", obs::histogram("pipeline.pretrain_ns"));
+  // A resume at the final epoch boundary skips the stage entirely; without
+  // the guard its span would still charge the corpus rebuild (needed only
+  // for the RNG stream) to "pretrain" — wall time for a phase that did
+  // not run.
+  const bool will_train =
+      (resume == nullptr ? 0 : resume->completed_epochs) <
+      config_.pretrain.epochs;
+  std::optional<obs::Span> span;
+  if (will_train)
+    span.emplace("pretrain", obs::histogram("pipeline.pretrain_ns"));
   // The corpus build consumes the pipeline RNG identically on fresh and
   // resumed runs; pretrain() then restores the RNG from the snapshot, so
   // by the end of the stage the stream matches an uninterrupted run.
@@ -175,7 +192,258 @@ int DpoAfPipeline::score_response(const driving::Task& task,
       .score();
 }
 
+void DpoAfPipeline::stream_scored_responses(
+    const std::vector<const driving::Task*>& tasks,
+    const std::vector<int>& counts, const TinyGpt& model,
+    const lm::SamplerConfig& sampler, SampleSource source,
+    std::vector<Rng>& task_rngs,
+    const std::function<void(ScoredItem&&)>& consume) const {
+  const std::size_t n_tasks = tasks.size();
+  // Sequence numbers are assigned at submission, task-major then
+  // sample-minor — the exact order the phased pipeline consumes in — and
+  // every per-candidate RNG draw below comes from the serially-split
+  // task_rngs, so reassembling by sequence number reproduces the phased
+  // output bit for bit (docs/PIPELINE.md).
+  std::vector<std::uint64_t> seq_base(n_tasks + 1, 0);
+  for (std::size_t u = 0; u < n_tasks; ++u)
+    seq_base[u + 1] = seq_base[u] + static_cast<std::uint64_t>(counts[u]);
+  const std::uint64_t total = seq_base[n_tasks];
+
+  struct WorkItem {
+    std::uint64_t seq = 0;
+    std::size_t task = 0;
+    std::string text;
+    bool truncated = false;
+  };
+
+  const auto capacity = static_cast<std::size_t>(
+      config_.stage_queue_capacity < 1 ? 1 : config_.stage_queue_capacity);
+  dataflow::Channel<WorkItem> work(capacity, "pipeline.candidates");
+  dataflow::Reorder<ScoredItem> scored("pipeline.scored");
+  // Overlap telemetry: scorings that complete while the sampler stage is
+  // still producing are exactly the work the phased pipeline serialized.
+  std::atomic<bool> sampling_open{true};
+  std::atomic<std::uint64_t> scored_while_sampling{0};
+
+  static obs::Counter& responses = obs::counter("lm.responses");
+  static obs::Counter& tokens = obs::counter("lm.generated_tokens");
+  static obs::Counter& truncations = obs::counter("lm.truncated_responses");
+  obs::Histogram& gen_hist = obs::histogram("lm.sample_responses_ns");
+
+  // In-flight serve submissions between the submitter and the harvester;
+  // FIFO with one producer and one consumer, so submission order is
+  // preserved. Declared before StageSet so workers outlive neither.
+  struct Inflight {
+    std::uint64_t seq = 0;
+    std::size_t task = 0;
+    serve::Submission submission;
+  };
+  std::unique_ptr<dataflow::Channel<Inflight>> inflight;
+  std::unique_ptr<serve::GenerationService> service;
+  if (source == SampleSource::kServe) {
+    inflight = std::make_unique<dataflow::Channel<Inflight>>(
+        capacity, "pipeline.inflight");
+    service =
+        std::make_unique<serve::GenerationService>(model,
+                                                   make_serve_config(config_));
+  }
+
+  dataflow::StageSet stages([&] {
+    if (inflight) inflight->fail();
+    work.fail();
+    scored.fail();
+  });
+
+  // --- sampler stage --------------------------------------------------
+  if (source == SampleSource::kServe) {
+    // Submitter: draw every per-request seed serially from the task RNGs
+    // (the same derivation lm::sample_responses_served uses) and let the
+    // service's bounded admission queue provide natural backpressure.
+    stages.spawn(
+        "submit", 1,
+        [&](int) {
+          for (std::size_t u = 0; u < n_tasks; ++u) {
+            const std::vector<int> prompt =
+                lm::encode_prompt(tokenizer_, tasks[u]->prompt);
+            for (int s = 0; s < counts[u]; ++s) {
+              serve::GenerateRequest req;
+              req.prompt = prompt;
+              req.max_new_tokens = sampler.max_new_tokens;
+              req.temperature = sampler.temperature;
+              req.top_k = sampler.top_k;
+              req.eos_id = tokenizer_.eos();
+              req.seed = task_rngs[u]();
+              const std::uint64_t seq =
+                  seq_base[u] + static_cast<std::uint64_t>(s);
+              if (!inflight->push({seq, u, service->submit(std::move(req))}))
+                return;
+            }
+          }
+        },
+        [&] { inflight->close(); });
+    // Harvester: resolve futures in submission order, decode, hand off.
+    stages.spawn(
+        "sample", 1,
+        [&](int) {
+          while (auto sub = inflight->pop()) {
+            obs::Span span("generation", gen_hist);
+            const serve::GenerateResult r = sub->submission.result.get();
+            responses.add();
+            tokens.add(r.ids.size());
+            if (r.truncated) truncations.add();
+            if (!work.push(
+                    {sub->seq, sub->task, tokenizer_.decode(r.ids), r.truncated}))
+              return;
+          }
+        },
+        [&] {
+          sampling_open.store(false, std::memory_order_relaxed);
+          work.close();
+        });
+  } else {
+    // Direct / catalog sampler: workers claim whole tasks (each task's
+    // RNG stream is private, so the claim order is irrelevant) and decode
+    // serially — the worker count is the stage's parallelism.
+    const int gen_workers =
+        source == SampleSource::kCatalog
+            ? 1
+            : static_cast<int>(std::min<std::size_t>(
+                  n_tasks == 0 ? 1 : n_tasks,
+                  static_cast<std::size_t>(util::global_threads())));
+    auto next_task = std::make_shared<std::atomic<std::size_t>>(0);
+    stages.spawn(
+        "sample", gen_workers,
+        [&, next_task](int) {
+          util::InlineComputeGuard serial;
+          for (;;) {
+            const std::size_t u = next_task->fetch_add(1);
+            if (u >= n_tasks) return;
+            if (source == SampleSource::kCatalog) {
+              std::uint64_t seq = seq_base[u];
+              for (const auto& variant : tasks[u]->variants)
+                if (!work.push({seq++, u, variant.text, false})) return;
+            } else {
+              const std::vector<int> prompt =
+                  lm::encode_prompt(tokenizer_, tasks[u]->prompt);
+              for (int s = 0; s < counts[u]; ++s) {
+                obs::Span span("generation", gen_hist);
+                const auto gen = model.generate(
+                    prompt, sampler.max_new_tokens, sampler.temperature,
+                    sampler.top_k, tokenizer_.eos(), task_rngs[u]);
+                responses.add();
+                tokens.add(gen.ids.size());
+                if (gen.truncated) truncations.add();
+                if (!work.push({seq_base[u] + static_cast<std::uint64_t>(s),
+                                u, tokenizer_.decode(gen.ids), gen.truncated}))
+                  return;
+              }
+            }
+          }
+        },
+        [&] {
+          sampling_open.store(false, std::memory_order_relaxed);
+          work.close();
+        });
+  }
+
+  // --- synthesis + verification stage ---------------------------------
+  const int score_workers =
+      config_.verify_workers > 0 ? config_.verify_workers
+                                 : util::global_threads();
+  stages.spawn(
+      "verify", score_workers,
+      [&](int) {
+        util::InlineComputeGuard serial;
+        while (auto item = work.pop()) {
+          ScoredItem out;
+          out.task_index = item->task;
+          out.truncated = item->truncated;
+          const int score = score_response(*tasks[item->task], item->text);
+          out.candidate = {std::move(item->text), score};
+          if (sampling_open.load(std::memory_order_relaxed))
+            scored_while_sampling.fetch_add(1, std::memory_order_relaxed);
+          if (!scored.push(item->seq, std::move(out))) return;
+        }
+      },
+      [&] { scored.close(); });
+
+  // --- consumer: the calling thread, in submission order ---------------
+  std::uint64_t consumed = 0;
+  while (auto item = scored.pop()) {
+    consume(std::move(*item));
+    ++consumed;
+  }
+  stages.join();  // rethrows the first stage error, if any
+  DPOAF_CHECK_MSG(consumed == total,
+                  "streaming pipeline dropped scored candidates");
+  if (obs::enabled()) {
+    obs::gauge("dataflow.pipeline.scored_while_sampling")
+        .record_max(static_cast<std::int64_t>(
+            scored_while_sampling.load(std::memory_order_relaxed)));
+    obs::gauge("dataflow.pipeline.items")
+        .record_max(static_cast<std::int64_t>(total));
+  }
+}
+
+DpoAfPipeline::StreamedCollection DpoAfPipeline::stream_collect(
+    bool with_pairs) {
+  DPOAF_CHECK_MSG(pretrained_ || config_.candidates_from_catalog,
+                  "call pretrain_model() before sampling candidates");
+  std::vector<const driving::Task*> training;
+  for (const auto& task : domain_.tasks())
+    if (task.training) training.push_back(&task);
+
+  // Same serial split as the phased path: the pipeline RNG stream is
+  // identical in both modes.
+  std::vector<Rng> task_rngs;
+  task_rngs.reserve(training.size());
+  for (std::size_t i = 0; i < training.size(); ++i)
+    task_rngs.push_back(rng_.split());
+
+  SampleSource source = SampleSource::kDirect;
+  if (config_.candidates_from_catalog)
+    source = SampleSource::kCatalog;
+  else if (config_.serve)
+    source = SampleSource::kServe;
+
+  std::vector<int> counts(training.size(), config_.responses_per_task);
+  if (source == SampleSource::kCatalog)
+    for (std::size_t u = 0; u < training.size(); ++u)
+      counts[u] = static_cast<int>(training[u]->variants.size());
+
+  StreamedCollection out;
+  out.candidates.resize(training.size());
+  for (std::size_t u = 0; u < training.size(); ++u)
+    out.candidates[u].task_id = training[u]->id;
+
+  static obs::Counter& pair_counter = obs::counter("pipeline.pairs_built");
+  stream_scored_responses(
+      training, counts, model_, config_.sampler, source, task_rngs,
+      [&](ScoredItem&& item) {
+        TaskCandidates& tc = out.candidates[item.task_index];
+        if (item.truncated) ++tc.truncated;
+        tc.candidates.push_back(std::move(item.candidate));
+        // Consumption is sequence-ordered, so a task is complete exactly
+        // when its last candidate arrives — build its pairs right away
+        // (the pair-builder stage of the dataflow).
+        if (with_pairs &&
+            tc.candidates.size() ==
+                static_cast<std::size_t>(counts[item.task_index])) {
+          obs::Span span("ranking", obs::histogram("pipeline.ranking_ns"));
+          const auto& task = *training[item.task_index];
+          const auto task_pairs = dpo::build_preference_pairs(
+              task.id, task.prompt, tc.candidates, tokenizer_,
+              model_.config().max_seq);
+          out.pairs.insert(out.pairs.end(), task_pairs.begin(),
+                           task_pairs.end());
+        }
+      });
+  if (with_pairs) pair_counter.add(out.pairs.size());
+  return out;
+}
+
 std::vector<TaskCandidates> DpoAfPipeline::collect_candidates() {
+  if (config_.streaming) return stream_collect(/*with_pairs=*/false).candidates;
   DPOAF_CHECK_MSG(pretrained_ || config_.candidates_from_catalog,
                   "call pretrain_model() before sampling candidates");
   std::vector<const driving::Task*> training;
@@ -236,10 +504,14 @@ std::vector<TaskCandidates> DpoAfPipeline::collect_candidates() {
 
 std::vector<dpo::PreferencePair> DpoAfPipeline::build_pairs(
     const std::vector<TaskCandidates>& candidates) const {
-  // "ranking" is the fourth of the five pipeline phases in the RunReport.
-  obs::Span span("ranking", obs::histogram("pipeline.ranking_ns"));
   static obs::Counter& pair_counter = obs::counter("pipeline.pairs_built");
   std::vector<dpo::PreferencePair> pairs;
+  // A phase that never ran must not appear in the trace: an empty input
+  // would otherwise charge pure call overhead to "ranking" and the phase
+  // rollup would double-count wall time that belongs elsewhere.
+  if (candidates.empty()) return pairs;
+  // "ranking" is the fourth of the five pipeline phases in the RunReport.
+  obs::Span span("ranking", obs::histogram("pipeline.ranking_ns"));
   for (const auto& tc : candidates) {
     const auto& task = domain_.task_by_id(tc.task_id);
     const auto task_pairs = dpo::build_preference_pairs(
@@ -276,47 +548,78 @@ CheckpointEval DpoAfPipeline::evaluate_model(const TinyGpt& model,
   for (std::size_t i = 0; i < tasks.size(); ++i)
     task_rngs.push_back(eval_rng.split());
 
-  // Serve mode mirrors collect_candidates: batched generation first,
-  // scoring in the fan-out below.
-  std::vector<lm::SampledResponses> served(tasks.size());
-  if (config_.serve) {
-    serve::GenerationService service(model, make_serve_config(config_));
-    for (std::size_t u = 0; u < tasks.size(); ++u)
-      served[u] = lm::sample_responses_served(
-          service, tokenizer_, tasks[u].prompt,
-          config_.eval_samples_per_task, sampler, task_rngs[u]);
-  }
-
   eval.per_task.resize(tasks.size());
   eval.per_task_alignment_failure.resize(tasks.size());
   std::vector<int> per_task_truncated(tasks.size(), 0);
-  util::parallel_for(0, static_cast<std::int64_t>(tasks.size()), 1,
-                     [&](std::int64_t t0, std::int64_t t1) {
-    for (std::int64_t t = t0; t < t1; ++t) {
-      const auto u = static_cast<std::size_t>(t);
-      const auto& task = tasks[u];
-      const auto responses =
-          config_.serve
-              ? std::move(served[u])
-              : lm::sample_responses(model, tokenizer_, task.prompt,
-                                     config_.eval_samples_per_task, sampler,
-                                     task_rngs[u]);
-      per_task_truncated[u] = responses.truncated_count();
-      double score_sum = 0.0;
-      int failures = 0;
-      for (const auto& response : responses.texts) {
-        const int score = score_response(task, response);
-        // The mean counts an unalignable response as 0 satisfied specs;
-        // the failure itself is tallied separately so the two outcomes
-        // stay distinguishable.
-        if (score < 0) ++failures;
-        score_sum += std::max(0, score);
-      }
-      const auto n = static_cast<double>(responses.texts.size());
-      eval.per_task[u] = {task.id, score_sum / n};
-      eval.per_task_alignment_failure[u] = static_cast<double>(failures) / n;
+  if (config_.streaming) {
+    // Streaming: each response is scored as soon as it is decoded; the
+    // sequence-ordered consumer reproduces the phased path's per-task
+    // serial accumulation order, so every mean below is bitwise-identical.
+    std::vector<const driving::Task*> task_ptrs;
+    task_ptrs.reserve(tasks.size());
+    for (const auto& task : tasks) task_ptrs.push_back(&task);
+    const std::vector<int> counts(tasks.size(),
+                                  config_.eval_samples_per_task);
+    std::vector<double> score_sum(tasks.size(), 0.0);
+    std::vector<int> failures(tasks.size(), 0);
+    stream_scored_responses(
+        task_ptrs, counts, model, sampler,
+        config_.serve ? SampleSource::kServe : SampleSource::kDirect,
+        task_rngs, [&](ScoredItem&& item) {
+          const std::size_t u = item.task_index;
+          if (item.truncated) ++per_task_truncated[u];
+          // The mean counts an unalignable response as 0 satisfied specs;
+          // the failure itself is tallied separately so the two outcomes
+          // stay distinguishable.
+          if (item.candidate.score < 0) ++failures[u];
+          score_sum[u] += std::max(0, item.candidate.score);
+        });
+    const auto n = static_cast<double>(config_.eval_samples_per_task);
+    for (std::size_t u = 0; u < tasks.size(); ++u) {
+      eval.per_task[u] = {tasks[u].id, score_sum[u] / n};
+      eval.per_task_alignment_failure[u] =
+          static_cast<double>(failures[u]) / n;
     }
-  });
+  } else {
+    // Phased: serve mode batches all generation first, then the fan-out
+    // below only scores.
+    std::vector<lm::SampledResponses> served(tasks.size());
+    if (config_.serve) {
+      serve::GenerationService service(model, make_serve_config(config_));
+      for (std::size_t u = 0; u < tasks.size(); ++u)
+        served[u] = lm::sample_responses_served(
+            service, tokenizer_, tasks[u].prompt,
+            config_.eval_samples_per_task, sampler, task_rngs[u]);
+    }
+    util::parallel_for(0, static_cast<std::int64_t>(tasks.size()), 1,
+                       [&](std::int64_t t0, std::int64_t t1) {
+      for (std::int64_t t = t0; t < t1; ++t) {
+        const auto u = static_cast<std::size_t>(t);
+        const auto& task = tasks[u];
+        const auto responses =
+            config_.serve
+                ? std::move(served[u])
+                : lm::sample_responses(model, tokenizer_, task.prompt,
+                                       config_.eval_samples_per_task, sampler,
+                                       task_rngs[u]);
+        per_task_truncated[u] = responses.truncated_count();
+        double score_sum = 0.0;
+        int failures = 0;
+        for (const auto& response : responses.texts) {
+          const int score = score_response(task, response);
+          // The mean counts an unalignable response as 0 satisfied specs;
+          // the failure itself is tallied separately so the two outcomes
+          // stay distinguishable.
+          if (score < 0) ++failures;
+          score_sum += std::max(0, score);
+        }
+        const auto n = static_cast<double>(responses.texts.size());
+        eval.per_task[u] = {task.id, score_sum / n};
+        eval.per_task_alignment_failure[u] =
+            static_cast<double>(failures) / n;
+      }
+    });
+  }
 
   // Serial reduction in task order, independent of the fan-out above.
   double train_sum = 0.0, val_sum = 0.0;
@@ -379,7 +682,14 @@ RunResult DpoAfPipeline::run_dpo_impl(
 
   {
     // "dpo" is the fifth of the five pipeline phases in the RunReport.
-    obs::Span span("dpo", obs::histogram("pipeline.dpo_ns"));
+    // Skipped-stage guard: a resume that already completed every epoch
+    // would otherwise charge the trainer setup (reference-model clone) to
+    // a phase that never trained.
+    const bool will_train =
+        (resume == nullptr ? 0 : resume->completed_epochs) <
+        config_.dpo.epochs;
+    std::optional<obs::Span> span;
+    if (will_train) span.emplace("dpo", obs::histogram("pipeline.dpo_ns"));
     dpo::DpoTrainer trainer(model_.clone(), config_.dpo, rng_);
     dpo::TrainHooks hooks;
     hooks.checkpoint = [this, &result](int epoch, const TinyGpt& policy) {
@@ -458,6 +768,13 @@ RunResult DpoAfPipeline::run() {
     pretrain_model_impl(&state);
   }
   if (!pretrained_) pretrain_model();
+  if (config_.streaming) {
+    // One dataflow for stages 2–4: candidates stream from the sampler
+    // through synthesis/verification into the pair builder, and DPO
+    // consumes the completed pair set per epoch.
+    const auto streamed = stream_collect(/*with_pairs=*/true);
+    return run_dpo(streamed.pairs);
+  }
   const auto candidates = collect_candidates();
   const auto pairs = build_pairs(candidates);
   return run_dpo(pairs);

@@ -14,6 +14,7 @@
 //      (Figure 9).
 #pragma once
 
+#include <functional>
 #include <memory>
 #include <string>
 #include <vector>
@@ -75,6 +76,22 @@ struct PipelineConfig {
   bool serve = false;
   /// Concurrent decode slots when serve is enabled.
   int serve_slots = 8;
+
+  // ---- Streaming dataflow (docs/PIPELINE.md) -------------------------
+  /// Run stages 2–4 (sampling → synthesis/verification → ranking) as a
+  /// bounded-queue streaming dataflow instead of barriered phases:
+  /// every candidate is scored as soon as it is decoded, and a task's
+  /// preference pairs are built the moment its last candidate is scored.
+  /// Sequence-numbered reassembly preserves the serial consumption order,
+  /// so the RunResult is bitwise-identical to the phased pipeline at any
+  /// thread count on either backend (property-tested) — this is a
+  /// scheduling knob, not an experiment axis.
+  bool streaming = true;
+  /// Scoring-stage workers when streaming. 0 ⇒ the thread-pool size.
+  int verify_workers = 0;
+  /// Bounded capacity of each inter-stage queue. Fast stages block once
+  /// they are this far ahead (backpressure); values < 1 are clamped to 1.
+  int stage_queue_capacity = 32;
 
   // Stage 5: DPO.
   dpo::DpoConfig dpo;
@@ -217,6 +234,36 @@ class DpoAfPipeline {
                                               int epoch) const;
 
  private:
+  /// One scored candidate leaving the streaming dataflow's verifier stage,
+  /// released to the consumer in sequence (task-major, sample-minor) order.
+  struct ScoredItem {
+    std::size_t task_index = 0;
+    dpo::Candidate candidate;
+    bool truncated = false;
+  };
+  /// Where the sampler stage gets candidate texts from.
+  enum class SampleSource { kCatalog, kDirect, kServe };
+  /// Candidates plus (optionally) the pairs built as tasks completed.
+  struct StreamedCollection {
+    std::vector<TaskCandidates> candidates;
+    std::vector<dpo::PreferencePair> pairs;
+  };
+
+  /// The streaming engine behind stages 2–3 and checkpoint eval: generate
+  /// `counts[u]` responses for each task, score each response as soon as
+  /// it is available, and invoke `consume` on the calling thread in serial
+  /// submission order (see docs/PIPELINE.md for the stage graph, queue
+  /// bounds, and the determinism contract).
+  void stream_scored_responses(
+      const std::vector<const driving::Task*>& tasks,
+      const std::vector<int>& counts, const TinyGpt& model,
+      const lm::SamplerConfig& sampler, SampleSource source,
+      std::vector<Rng>& task_rngs,
+      const std::function<void(ScoredItem&&)>& consume) const;
+  /// Stages 2–4 as one dataflow; pair building is skipped (and the
+  /// "ranking" spans with it) when `with_pairs` is false.
+  StreamedCollection stream_collect(bool with_pairs);
+
   /// Shared trailer of every snapshot: stage-independent identity fields
   /// (seed, model config, LoRA layout, vocabulary).
   [[nodiscard]] ckpt::TrainingCheckpoint base_checkpoint() const;

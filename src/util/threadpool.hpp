@@ -71,6 +71,24 @@ void set_global_threads(int threads);
 /// Current size of the global pool (creating it if needed).
 int global_threads();
 
+/// RAII: mark the calling thread as a compute region, so every
+/// parallel_for it makes runs inline (exactly as if it were a chunk body).
+/// Dataflow stage workers (src/core/dataflow) wrap their per-item compute
+/// in this so the stage's worker count — not the pool fan-out — is the
+/// unit of parallelism, mirroring how the phased pipeline's per-task
+/// chunks behave. Restores the previous state on destruction, so guards
+/// nest safely.
+class InlineComputeGuard {
+ public:
+  InlineComputeGuard();
+  ~InlineComputeGuard();
+  InlineComputeGuard(const InlineComputeGuard&) = delete;
+  InlineComputeGuard& operator=(const InlineComputeGuard&) = delete;
+
+ private:
+  bool prev_;
+};
+
 /// Convenience: parallel_for on the global pool.
 inline void parallel_for(
     std::int64_t begin, std::int64_t end, std::int64_t grain,

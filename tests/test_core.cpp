@@ -169,5 +169,28 @@ TEST(Pipeline, ScoreResponseMatchesDomainFeedback) {
   EXPECT_EQ(pipe.score_response(task, "gibberish that cannot align"), -1);
 }
 
+// Regression: a phase that never ran must not appear in the trace. An
+// empty build_pairs() call used to emit a "ranking" span anyway, charging
+// call overhead to a phase with zero work and double-counting wall time
+// in the RunReport phase rollup.
+TEST(Pipeline, EmptyPhasesEmitNoSpans) {
+  auto cfg = micro_config();
+  cfg.observability = true;
+  DpoAfPipeline pipe(cfg);
+  (void)obs::drain_trace();  // isolate from spans of earlier tests
+  const auto pairs = pipe.build_pairs({});
+  EXPECT_TRUE(pairs.empty());
+  for (const auto& event : obs::drain_trace())
+    EXPECT_NE(event.name, "ranking") << "empty ranking phase emitted a span";
+  // A non-empty input still traces the phase.
+  (void)pipe.build_pairs(pipe.collect_candidates());
+  bool saw_ranking = false;
+  for (const auto& event : obs::drain_trace())
+    if (event.name == "ranking") saw_ranking = true;
+  EXPECT_TRUE(saw_ranking);
+  obs::set_enabled(false);
+  obs::clear_trace();
+}
+
 }  // namespace
 }  // namespace dpoaf::core
