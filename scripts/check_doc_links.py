@@ -24,6 +24,7 @@ DEFAULT_DOCS = [
     "docs/ARCHITECTURE.md",
     "docs/BACKENDS.md",
     "docs/CHECKPOINT_FORMAT.md",
+    "docs/GENERATOR.md",
     "docs/PIPELINE.md",
     "docs/RUN_REPORT_SCHEMA.md",
     "docs/SERVING.md",

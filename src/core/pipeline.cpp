@@ -51,6 +51,15 @@ CheckpointEval from_record(const ckpt::EvalRecord& r) {
   return e;
 }
 
+driving::generator::GeneratorConfig make_generator_config(
+    const PipelineConfig& config) {
+  driving::generator::GeneratorConfig gen;
+  gen.seed = config.generator_seed;
+  gen.count = config.generated_scenarios;
+  gen.holdout = config.holdout_scenarios;
+  return gen;
+}
+
 serve::ServiceConfig make_serve_config(const PipelineConfig& config) {
   serve::ServiceConfig scfg;
   scfg.slots = config.serve_slots;
@@ -64,6 +73,7 @@ serve::ServiceConfig make_serve_config(const PipelineConfig& config) {
 
 DpoAfPipeline::DpoAfPipeline(PipelineConfig config)
     : config_(config),
+      domain_(make_generator_config(config_)),
       tokenizer_(lm::build_tokenizer(domain_.tasks())),
       rng_(config.seed) {
   util::set_global_threads(config_.threads);
@@ -159,8 +169,22 @@ lm::PretrainStats DpoAfPipeline::pretrain_model_impl(
   // The corpus build consumes the pipeline RNG identically on fresh and
   // resumed runs; pretrain() then restores the RNG from the snapshot, so
   // by the end of the stage the stream matches an uninterrupted run.
+  //
+  // Held-out scenarios must leave no trace in the training signal: their
+  // tasks are dropped from the corpus here (the tokenizer still covers
+  // them, so held-out prompts stay encodable at eval time). Without any
+  // holdout the task list passes through untouched.
+  std::vector<driving::Task> visible_tasks;
+  const std::vector<driving::Task>* corpus_tasks = &domain_.tasks();
+  for (const auto& task : domain_.tasks())
+    if (task.holdout) {
+      for (const auto& t : domain_.tasks())
+        if (!t.holdout) visible_tasks.push_back(t);
+      corpus_tasks = &visible_tasks;
+      break;
+    }
   const auto corpus =
-      lm::build_corpus(domain_.tasks(), tokenizer_,
+      lm::build_corpus(*corpus_tasks, tokenizer_,
                        config_.corpus_samples_per_task,
                        config_.corpus_weights, rng_);
   lm::PretrainHooks hooks;
@@ -391,7 +415,7 @@ DpoAfPipeline::StreamedCollection DpoAfPipeline::stream_collect(
                   "call pretrain_model() before sampling candidates");
   std::vector<const driving::Task*> training;
   for (const auto& task : domain_.tasks())
-    if (task.training) training.push_back(&task);
+    if (task.training && !task.holdout) training.push_back(&task);
 
   // Same serial split as the phased path: the pipeline RNG stream is
   // identical in both modes.
@@ -447,8 +471,8 @@ std::vector<TaskCandidates> DpoAfPipeline::collect_candidates() {
   DPOAF_CHECK_MSG(pretrained_ || config_.candidates_from_catalog,
                   "call pretrain_model() before sampling candidates");
   std::vector<const driving::Task*> training;
-  for (const auto& task : domain_.tasks())
-    if (task.training) training.push_back(&task);  // pairs come from training tasks only
+  for (const auto& task : domain_.tasks())  // pairs: training, non-held-out
+    if (task.training && !task.holdout) training.push_back(&task);
 
   // One generator per task, split from the pipeline RNG in serial task
   // order: the sampling stream each task sees is fixed before the fan-out,
@@ -542,7 +566,13 @@ CheckpointEval DpoAfPipeline::evaluate_model(const TinyGpt& model,
 
   // Per-task generators split in serial task order (see
   // collect_candidates) keep the evaluation identical at any thread count.
-  const auto& tasks = domain_.tasks();
+  // Held-out tasks never appear in checkpoint evaluation — they are
+  // reserved for evaluate_generalization (and skipping them here keeps the
+  // no-holdout RNG stream untouched: the split count only drops when a
+  // holdout exists).
+  std::vector<const driving::Task*> tasks;
+  for (const auto& task : domain_.tasks())
+    if (!task.holdout) tasks.push_back(&task);
   std::vector<Rng> task_rngs;
   task_rngs.reserve(tasks.size());
   for (std::size_t i = 0; i < tasks.size(); ++i)
@@ -555,15 +585,12 @@ CheckpointEval DpoAfPipeline::evaluate_model(const TinyGpt& model,
     // Streaming: each response is scored as soon as it is decoded; the
     // sequence-ordered consumer reproduces the phased path's per-task
     // serial accumulation order, so every mean below is bitwise-identical.
-    std::vector<const driving::Task*> task_ptrs;
-    task_ptrs.reserve(tasks.size());
-    for (const auto& task : tasks) task_ptrs.push_back(&task);
     const std::vector<int> counts(tasks.size(),
                                   config_.eval_samples_per_task);
     std::vector<double> score_sum(tasks.size(), 0.0);
     std::vector<int> failures(tasks.size(), 0);
     stream_scored_responses(
-        task_ptrs, counts, model, sampler,
+        tasks, counts, model, sampler,
         config_.serve ? SampleSource::kServe : SampleSource::kDirect,
         task_rngs, [&](ScoredItem&& item) {
           const std::size_t u = item.task_index;
@@ -576,7 +603,7 @@ CheckpointEval DpoAfPipeline::evaluate_model(const TinyGpt& model,
         });
     const auto n = static_cast<double>(config_.eval_samples_per_task);
     for (std::size_t u = 0; u < tasks.size(); ++u) {
-      eval.per_task[u] = {tasks[u].id, score_sum[u] / n};
+      eval.per_task[u] = {tasks[u]->id, score_sum[u] / n};
       eval.per_task_alignment_failure[u] =
           static_cast<double>(failures[u]) / n;
     }
@@ -588,14 +615,14 @@ CheckpointEval DpoAfPipeline::evaluate_model(const TinyGpt& model,
       serve::GenerationService service(model, make_serve_config(config_));
       for (std::size_t u = 0; u < tasks.size(); ++u)
         served[u] = lm::sample_responses_served(
-            service, tokenizer_, tasks[u].prompt,
+            service, tokenizer_, tasks[u]->prompt,
             config_.eval_samples_per_task, sampler, task_rngs[u]);
     }
     util::parallel_for(0, static_cast<std::int64_t>(tasks.size()), 1,
                        [&](std::int64_t t0, std::int64_t t1) {
       for (std::int64_t t = t0; t < t1; ++t) {
         const auto u = static_cast<std::size_t>(t);
-        const auto& task = tasks[u];
+        const driving::Task& task = *tasks[u];
         const auto responses =
             config_.serve
                 ? std::move(served[u])
@@ -629,7 +656,7 @@ CheckpointEval DpoAfPipeline::evaluate_model(const TinyGpt& model,
     const double score = eval.per_task[u].second;
     const double fail = eval.per_task_alignment_failure[u];
     eval.truncated_responses += per_task_truncated[u];
-    if (tasks[u].training) {
+    if (tasks[u]->training) {
       train_sum += score;
       train_fail += fail;
       ++train_n;
@@ -649,6 +676,91 @@ CheckpointEval DpoAfPipeline::evaluate_model(const TinyGpt& model,
     eval.val_alignment_failure_rate = val_fail / static_cast<double>(val_n);
   }
   return eval;
+}
+
+GeneralizationEval DpoAfPipeline::evaluate_generalization() const {
+  DPOAF_CHECK_MSG(config_.eval_samples_per_task > 0,
+                  "eval_samples_per_task must be > 0");
+  GeneralizationEval out;
+  // A fixed offset of the pipeline seed — a private stream, so running (or
+  // skipping) this eval never perturbs any other RNG consumer.
+  Rng gen_rng(config_.seed * 0x9E3779B9ULL + 0xC0FFEEULL);
+  lm::SamplerConfig sampler;
+  sampler.temperature = config_.eval_temperature;
+  sampler.top_k = config_.eval_top_k;
+  sampler.max_new_tokens = config_.eval_max_new_tokens;
+
+  const auto& tasks = domain_.tasks();
+  std::vector<Rng> task_rngs;
+  task_rngs.reserve(tasks.size());
+  for (std::size_t i = 0; i < tasks.size(); ++i)
+    task_rngs.push_back(gen_rng.split());
+
+  struct TaskScore {
+    double satisfied_fraction = 0.0;
+    double alignment_failure = 0.0;
+    double violation = 0.0;
+  };
+  std::vector<TaskScore> scores(tasks.size());
+  util::parallel_for(0, static_cast<std::int64_t>(tasks.size()), 1,
+                     [&](std::int64_t t0, std::int64_t t1) {
+    for (std::int64_t t = t0; t < t1; ++t) {
+      const auto u = static_cast<std::size_t>(t);
+      const driving::Task& task = tasks[u];
+      // Generated rulebooks differ in length, so satisfied counts are
+      // normalized by the task's own rulebook size before averaging.
+      const auto rulebook_size =
+          static_cast<double>(domain_.specs_for(task.scenario).size());
+      const auto responses =
+          lm::sample_responses(model_, tokenizer_, task.prompt,
+                               config_.eval_samples_per_task, sampler,
+                               task_rngs[u]);
+      TaskScore s;
+      for (const auto& response : responses.texts) {
+        const int score = score_response(task, response);
+        if (score < 0)
+          s.alignment_failure += 1.0;
+        else if (static_cast<double>(score) < rulebook_size)
+          s.violation += 1.0;
+        s.satisfied_fraction += std::max(0, score) / rulebook_size;
+      }
+      const auto n = static_cast<double>(responses.texts.size());
+      s.satisfied_fraction /= n;
+      s.alignment_failure /= n;
+      s.violation /= n;
+      scores[u] = s;
+    }
+  });
+
+  // Serial reduction in task order.
+  for (std::size_t u = 0; u < tasks.size(); ++u) {
+    const TaskScore& s = scores[u];
+    if (tasks[u].holdout) {
+      ++out.holdout_tasks;
+      out.holdout_mean_satisfied_fraction += s.satisfied_fraction;
+      out.holdout_alignment_failure_rate += s.alignment_failure;
+      out.holdout_violation_rate += s.violation;
+      out.per_holdout_task.emplace_back(tasks[u].id, s.satisfied_fraction);
+    } else {
+      ++out.train_tasks;
+      out.train_mean_satisfied_fraction += s.satisfied_fraction;
+      out.train_alignment_failure_rate += s.alignment_failure;
+      out.train_violation_rate += s.violation;
+    }
+  }
+  if (out.train_tasks > 0) {
+    const auto n = static_cast<double>(out.train_tasks);
+    out.train_mean_satisfied_fraction /= n;
+    out.train_alignment_failure_rate /= n;
+    out.train_violation_rate /= n;
+  }
+  if (out.holdout_tasks > 0) {
+    const auto n = static_cast<double>(out.holdout_tasks);
+    out.holdout_mean_satisfied_fraction /= n;
+    out.holdout_alignment_failure_rate /= n;
+    out.holdout_violation_rate /= n;
+  }
+  return out;
 }
 
 RunResult DpoAfPipeline::run_dpo(
@@ -721,6 +833,17 @@ RunResult DpoAfPipeline::run_dpo_impl(
         pairs, hooks, resume != nullptr ? &trainer_resume : nullptr);
     model_ = trainer.policy().clone();
   }
+  result.generator_stats = domain_.generator_stats();
+  for (const driving::Task& task : domain_.tasks())
+    if (task.holdout) {
+      // The fine-tuned policy against scenarios it never trained on —
+      // the held-out generalization protocol of docs/GENERATOR.md.
+      obs::Span span("generalization",
+                     obs::histogram("pipeline.generalization_ns"));
+      result.generalization = evaluate_generalization();
+      result.has_generalization = true;
+      break;
+    }
   result.feedback_cache_stats = domain_.feedback_cache_stats();
   result.buchi_cache_stats = modelcheck::buchi_cache_stats();
   result.monitor_cache_stats = monitor::monitor_cache_stats();

@@ -105,6 +105,20 @@ struct PipelineConfig {
   int eval_top_k = 6;
   int eval_max_new_tokens = 72;
 
+  // ---- Procedural scenario generation (docs/GENERATOR.md) ------------
+  /// Number of procedurally generated scenarios appended to the paper's
+  /// five (0 disables generation; the default domain is unchanged). Each
+  /// generated scenario contributes one control task to the catalog.
+  int generated_scenarios = 0;
+  /// Of the generated scenarios, hold out the *last* M entirely: their
+  /// tasks are excluded from the pre-training corpus, candidate
+  /// collection, and checkpoint evaluation, then scored by the held-out
+  /// generalization eval after DPO (RunResult::generalization).
+  int holdout_scenarios = 0;
+  /// Seed of the generator's private stream — independent of `seed`, so
+  /// the scenario set can stay fixed while training randomness varies.
+  std::uint64_t generator_seed = 7;
+
   /// Memoize formal feedback per (scenario, canonicalized response text).
   /// Feedback is deterministic, so caching cannot change any metric (the
   /// property tests assert bitwise-identical runs either way); off means
@@ -165,6 +179,28 @@ struct TaskCandidates {
   int truncated = 0;  // sampled candidates that hit the context limit
 };
 
+/// Train-vs-held-out comparison on the *final* policy (docs/GENERATOR.md):
+/// the checkpoint-eval sampler run once more after DPO, but split by the
+/// holdout flag and normalized per scenario rulebook size (generated
+/// rulebooks differ in length, so raw satisfied counts are incomparable
+/// across scenarios). Deterministic per pipeline seed.
+struct GeneralizationEval {
+  int train_tasks = 0;    // tasks the model trained on (incl. paper tasks)
+  int holdout_tasks = 0;  // tasks of held-out generated scenarios
+  // Mean over tasks of (satisfied specs / rulebook size), unalignable
+  // responses counting 0.
+  double train_mean_satisfied_fraction = 0.0;
+  double holdout_mean_satisfied_fraction = 0.0;
+  // Fraction of sampled responses GLM2FSA could not align.
+  double train_alignment_failure_rate = 0.0;
+  double holdout_alignment_failure_rate = 0.0;
+  // Fraction of sampled responses that aligned but violated ≥ 1 spec.
+  double train_violation_rate = 0.0;
+  double holdout_violation_rate = 0.0;
+  // (task id, mean satisfied fraction) for every held-out task.
+  std::vector<std::pair<std::string, double>> per_holdout_task;
+};
+
 struct RunResult {
   std::vector<dpo::EpochMetrics> metrics;     // Figure 8 series
   std::vector<CheckpointEval> checkpoints;    // Figure 9 series
@@ -182,6 +218,13 @@ struct RunResult {
   /// sub-spans). Empty unless observability was enabled. Wall times are
   /// report-only — nothing downstream computes on them.
   std::vector<obs::PhaseStat> phases;
+  /// Procedural-generation tally (all zeros when generation was off),
+  /// including the satisfiability pre-pass discard counts.
+  driving::generator::GeneratorStats generator_stats;
+  /// Held-out generalization eval; meaningful only when has_generalization
+  /// (i.e. the domain contains held-out generated scenarios).
+  bool has_generalization = false;
+  GeneralizationEval generalization;
 };
 
 class DpoAfPipeline {
@@ -229,9 +272,16 @@ class DpoAfPipeline {
   [[nodiscard]] int score_response(const driving::Task& task,
                                    const std::string& response_text) const;
 
-  /// Greedy-decode every task and verify (one Figure-9 data point).
+  /// Greedy-decode every non-held-out task and verify (one Figure-9 data
+  /// point; held-out tasks are reserved for evaluate_generalization).
   [[nodiscard]] CheckpointEval evaluate_model(const TinyGpt& model,
                                               int epoch) const;
+
+  /// Sample the *current* policy on every task — held-out ones included —
+  /// and split the per-rulebook-normalized metrics by the holdout flag.
+  /// Run automatically at the end of run_dpo when the domain has held-out
+  /// scenarios; exposed for tests.
+  [[nodiscard]] GeneralizationEval evaluate_generalization() const;
 
  private:
   /// One scored candidate leaving the streaming dataflow's verifier stage,

@@ -53,10 +53,10 @@ bool holds_on(const Ltl& body, Symbol label) {
 // transition's guard with an environment literal whose flip restores ψ.
 // Returns true if a patch was applied.
 bool apply_patch(const driving::DrivingDomain& domain,
-                 driving::ScenarioId scenario, FsaController& controller,
+                 const driving::Scenario& scenario, FsaController& controller,
                  const Ltl& body,
                  const modelcheck::CheckResult& result) {
-  const auto& model = domain.model(scenario);
+  const auto& model = scenario.model;
   const Kripke product =
       automata::make_product(model, controller, domain.product_options());
 
@@ -120,16 +120,15 @@ bool apply_patch(const driving::DrivingDomain& domain,
 }  // namespace
 
 RepairResult repair_controller(const driving::DrivingDomain& domain,
-                               driving::ScenarioId scenario,
+                               std::string_view scenario_key,
                                automata::FsaController controller,
                                const RepairOptions& options) {
   RepairResult result;
+  const driving::Scenario& scenario = domain.scenario(scenario_key);
   auto verify = [&](const FsaController& c) {
     const Kripke product =
-        automata::make_product(domain.model(scenario), c,
-                               domain.product_options());
-    return modelcheck::verify_all(product, domain.specs(),
-                                  domain.fairness(scenario));
+        automata::make_product(scenario.model, c, domain.product_options());
+    return modelcheck::verify_all(product, scenario.specs, scenario.fairness);
   };
 
   auto report = verify(controller);

@@ -15,6 +15,8 @@
 #pragma once
 
 #include <string>
+#include <string_view>
+#include <utility>
 #include <vector>
 
 #include "driving/domain.hpp"
@@ -33,12 +35,23 @@ struct RepairOptions {
   int max_iterations = 8;
 };
 
-/// Repair `controller` against the domain's rulebook within `scenario`.
-/// Only safety specifications of the form □ψ with propositional ψ are
-/// candidates; liveness violations are left to fine-tuning.
+/// Repair `controller` against the scenario's own rulebook within any
+/// registry scenario. Only safety specifications of the form □ψ with
+/// propositional ψ are candidates; liveness violations are left to
+/// fine-tuning.
 RepairResult repair_controller(const driving::DrivingDomain& domain,
-                               driving::ScenarioId scenario,
+                               std::string_view scenario,
                                automata::FsaController controller,
                                const RepairOptions& options = {});
+
+/// Enum convenience for the five paper scenarios.
+inline RepairResult repair_controller(const driving::DrivingDomain& domain,
+                                      driving::ScenarioId scenario,
+                                      automata::FsaController controller,
+                                      const RepairOptions& options = {}) {
+  return repair_controller(domain,
+                           std::string_view(driving::scenario_name(scenario)),
+                           std::move(controller), options);
+}
 
 }  // namespace dpoaf::core

@@ -9,7 +9,9 @@
 
 namespace dpoaf::driving {
 
-DrivingDomain::DrivingDomain()
+DrivingDomain::DrivingDomain() : DrivingDomain(generator::GeneratorConfig{}) {}
+
+DrivingDomain::DrivingDomain(const generator::GeneratorConfig& gen)
     : vocab_(logic::make_driving_vocabulary()),
       aligner_(glm2fsa::make_driving_aligner(vocab_)),
       specs_(rulebook(vocab_)),
@@ -17,7 +19,9 @@ DrivingDomain::DrivingDomain()
   // Satisfiability / triviality pre-pass: an unsatisfiable spec would
   // zero every controller's score and a trivially-true one would inflate
   // it — both are rulebook authoring bugs, so reject them before any
-  // checking runs against the rulebook.
+  // checking runs against the rulebook. (Generated rulebooks go through
+  // the tolerant version of this gate inside instantiate_rulebook, where
+  // degenerate instantiations are expected and silently discarded.)
   for (const modelcheck::NamedSpec& spec : specs_) {
     const monitor::SpecClass cls = monitor::classify_spec(spec.formula);
     DPOAF_CHECK_MSG(cls != monitor::SpecClass::kUnsatisfiable,
@@ -28,23 +32,47 @@ DrivingDomain::DrivingDomain()
                         "' is trivially true over finite traces");
   }
   for (ScenarioId id : all_scenarios()) {
-    models_.emplace(id, make_scenario_model(id, vocab_));
-    fairness_.emplace(id, fairness_assumptions(id, vocab_));
+    Scenario s;
+    s.key = scenario_name(id);
+    s.model = make_scenario_model(id, vocab_);
+    s.fairness = fairness_assumptions(id, vocab_);
+    s.specs = specs_;
+    s.perception_noise =
+        generator::perception_noise(generator::NoiseRegime::Nominal);
+    install_scenario(std::move(s));
   }
   universal_ = make_universal_model(vocab_);
   stop_action_ = logic::Vocabulary::bit(*vocab_.find("stop"));
+
+  if (gen.count > 0) {
+    for (generator::GeneratedScenario& g :
+         generator::generate_scenarios(gen, vocab_, &generator_stats_)) {
+      Scenario s;
+      s.key = g.key;
+      s.model = std::move(g.model);
+      s.fairness = std::move(g.fairness);
+      s.specs = std::move(g.specs);
+      s.perception_noise = generator::perception_noise(g.features.noise);
+      s.generated = true;
+      s.holdout = g.holdout;
+      install_scenario(std::move(s));
+      tasks_.push_back(instantiate_task(g.task));
+    }
+  }
 }
 
-const TransitionSystem& DrivingDomain::model(ScenarioId id) const {
-  const auto it = models_.find(id);
-  DPOAF_CHECK(it != models_.end());
-  return it->second;
+void DrivingDomain::install_scenario(Scenario scenario) {
+  const bool inserted =
+      scenario_index_.emplace(scenario.key, scenarios_.size()).second;
+  DPOAF_CHECK_MSG(inserted, "duplicate scenario key: " + scenario.key);
+  scenarios_.push_back(std::move(scenario));
 }
 
-const std::vector<logic::Ltl>& DrivingDomain::fairness(ScenarioId id) const {
-  const auto it = fairness_.find(id);
-  DPOAF_CHECK(it != fairness_.end());
-  return it->second;
+const Scenario& DrivingDomain::scenario(std::string_view key) const {
+  const auto it = scenario_index_.find(key);
+  DPOAF_CHECK_MSG(it != scenario_index_.end(),
+                  "unknown scenario key: " + std::string(key));
+  return scenarios_[it->second];
 }
 
 glm2fsa::BuildOptions DrivingDomain::build_options() const {
@@ -84,9 +112,9 @@ std::string canonical_response_text(std::string_view response_text) {
 namespace {
 
 FeedbackResult compute_feedback(const DrivingDomain& domain,
-                                ScenarioId scenario,
+                                std::string_view scenario_key,
                                 std::string_view response_text) {
-  // "synthesis" (GLM2FSA) and "verification" (product + 15-spec model
+  // "synthesis" (GLM2FSA) and "verification" (product + rulebook model
   // checking) are two of the five pipeline phases in the RunReport.
   static obs::Counter& computed = obs::counter("feedback.computed");
   static obs::Counter& failures = obs::counter("feedback.alignment_failures");
@@ -106,27 +134,28 @@ FeedbackResult compute_feedback(const DrivingDomain& domain,
     result.controller = std::move(g2f.controller);
   }
   obs::Span span("verification", obs::histogram("modelcheck.verify_ns"));
+  const Scenario& scenario = domain.scenario(scenario_key);
   const automata::Kripke product = automata::make_product(
-      domain.model(scenario), result.controller, domain.product_options());
-  result.report = modelcheck::verify_all(product, domain.specs(),
-                                         domain.fairness(scenario));
+      scenario.model, result.controller, domain.product_options());
+  result.report =
+      modelcheck::verify_all(product, scenario.specs, scenario.fairness);
   return result;
 }
 
 }  // namespace
 
 FeedbackResult formal_feedback(const DrivingDomain& domain,
-                               ScenarioId scenario,
+                               std::string_view scenario_key,
                                std::string_view response_text) {
   static obs::Counter& requests = obs::counter("feedback.requests");
   requests.add();
   if (!domain.feedback_cache_enabled())
-    return compute_feedback(domain, scenario, response_text);
-  std::string key = scenario_name(scenario);
+    return compute_feedback(domain, scenario_key, response_text);
+  std::string key(scenario_key);
   key += '\n';
   key += canonical_response_text(response_text);
   return domain.feedback_cache_.get_or_compute(key, [&] {
-    return compute_feedback(domain, scenario, response_text);
+    return compute_feedback(domain, scenario_key, response_text);
   });
 }
 

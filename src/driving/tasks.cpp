@@ -7,20 +7,7 @@ namespace dpoaf::driving {
 
 namespace {
 
-// Slot-filled template for one task; the variant builders below assemble
-// the numbered step lists from these pieces.
-struct TaskTemplate {
-  std::string id;
-  std::string prompt;
-  ScenarioId scenario = ScenarioId::TrafficLight;
-  bool training = true;
-  std::string observe;           // "the traffic light"
-  std::string light_cond;        // "" when the manoeuvre needs no signal
-  std::string light_wait;        // "Wait for/until …" phrasing
-  std::vector<std::string> obstacle_conds;  // negated forms, "no car from the left"
-  std::string action;            // "turn right"
-  std::string wrong_action;      // plausible but non-compliant manoeuvre
-};
+using TaskTemplate = TaskBlueprint;
 
 std::string obstacle_name(const std::string& cond) {
   // "no car from the left" → "the car from the left"
@@ -118,12 +105,15 @@ std::string make_unaligned(const TaskTemplate&) {
          "2. Do the maneuver when it feels right.";
 }
 
-Task instantiate(const TaskTemplate& t) {
+}  // namespace
+
+Task instantiate_task(const TaskBlueprint& t) {
   Task task;
   task.id = t.id;
   task.prompt = t.prompt;
   task.scenario = t.scenario;
   task.training = t.training;
+  task.holdout = t.holdout;
 
   auto add = [&task](FlawTag tag, std::string text) {
     if (!text.empty()) task.variants.push_back({tag, std::move(text)});
@@ -139,8 +129,6 @@ Task instantiate(const TaskTemplate& t) {
   add(FlawTag::Unaligned, make_unaligned(t));
   return task;
 }
-
-}  // namespace
 
 std::string flaw_name(FlawTag tag) {
   switch (tag) {
@@ -172,7 +160,8 @@ std::vector<Task> task_catalog() {
 
   templates.push_back(
       {"turn_right_traffic_light", "turn right at the traffic light",
-       ScenarioId::TrafficLight, true, "the traffic light",
+       scenario_name(ScenarioId::TrafficLight), true, false,
+       "the traffic light",
        "", "",
        {"no car from the left", "no pedestrian on the right",
         "no pedestrian in front"},
@@ -180,7 +169,8 @@ std::vector<Task> task_catalog() {
 
   templates.push_back(
       {"turn_left_protected", "turn left at the traffic light",
-       ScenarioId::LeftTurnSignal, true, "the left turn light",
+       scenario_name(ScenarioId::LeftTurnSignal), true, false,
+       "the left turn light",
        "the left turn light is green",
        "Wait for the left turn light to turn green",
        {"no oncoming traffic"},
@@ -188,7 +178,8 @@ std::vector<Task> task_catalog() {
 
   templates.push_back(
       {"go_straight_traffic_light", "go straight at the traffic light",
-       ScenarioId::TrafficLight, true, "the traffic light",
+       scenario_name(ScenarioId::TrafficLight), true, false,
+       "the traffic light",
        "the green traffic light is on",
        "Wait for the traffic light to turn green",
        {"no pedestrian in front"},
@@ -196,7 +187,7 @@ std::vector<Task> task_catalog() {
 
   templates.push_back(
       {"turn_right_stop_sign", "turn right at the two way stop sign",
-       ScenarioId::TwoWayStop, true, "the stop sign",
+       scenario_name(ScenarioId::TwoWayStop), true, false, "the stop sign",
        "", "",
        {"no car from the left", "no car from the right",
         "no pedestrian in front"},
@@ -204,7 +195,8 @@ std::vector<Task> task_catalog() {
 
   templates.push_back(
       {"enter_roundabout", "enter the roundabout",
-       ScenarioId::Roundabout, true, "the roundabout entry",
+       scenario_name(ScenarioId::Roundabout), true, false,
+       "the roundabout entry",
        "", "",
        {"no car from the left", "no pedestrian on the left",
         "no pedestrian on the right"},
@@ -212,7 +204,8 @@ std::vector<Task> task_catalog() {
 
   templates.push_back(
       {"turn_left_wide_median", "turn left across the wide median",
-       ScenarioId::WideMedian, false, "the median opening",
+       scenario_name(ScenarioId::WideMedian), false, false,
+       "the median opening",
        "", "",
        {"no car from the left", "no car from the right",
         "no oncoming traffic"},
@@ -220,7 +213,8 @@ std::vector<Task> task_catalog() {
 
   templates.push_back(
       {"cross_crosswalk", "drive through the crosswalk at the traffic light",
-       ScenarioId::TrafficLight, false, "the traffic light",
+       scenario_name(ScenarioId::TrafficLight), false, false,
+       "the traffic light",
        "the green traffic light is on",
        "Wait for the traffic light to turn green",
        {"no pedestrian in front"},
@@ -228,7 +222,8 @@ std::vector<Task> task_catalog() {
 
   templates.push_back(
       {"turn_left_flashing", "turn left on the flashing left turn light",
-       ScenarioId::LeftTurnSignal, false, "the left turn light",
+       scenario_name(ScenarioId::LeftTurnSignal), false, false,
+       "the left turn light",
        "the left turn light is flashing",
        "Wait until the left turn light is flashing",
        {"no oncoming traffic"},
@@ -236,7 +231,7 @@ std::vector<Task> task_catalog() {
 
   std::vector<Task> tasks;
   tasks.reserve(templates.size());
-  for (const TaskTemplate& t : templates) tasks.push_back(instantiate(t));
+  for (const TaskTemplate& t : templates) tasks.push_back(instantiate_task(t));
   return tasks;
 }
 

@@ -43,10 +43,38 @@ struct ResponseVariant {
 struct Task {
   std::string id;      // e.g. "turn_right_traffic_light"
   std::string prompt;  // e.g. "turn right at the traffic light"
-  ScenarioId scenario = ScenarioId::TrafficLight;
+  /// Scenario-registry key (DrivingDomain::scenario); `scenario_name(id)`
+  /// for the five paper scenarios, "genNNN_…" for generated ones.
+  std::string scenario = "traffic_light";
   bool training = true;  // false ⇒ held-out validation task (Fig. 9)
+  /// Held-out generated scenario: excluded from the pre-training corpus,
+  /// candidate sampling, and checkpoint evaluation; scored only by the
+  /// generalization eval (docs/GENERATOR.md).
+  bool holdout = false;
   std::vector<ResponseVariant> variants;
 };
+
+/// Slot-filled template for one task. The variant builders assemble the
+/// canonical compliant response and the systematically flawed ones from
+/// these pieces; the scenario generator fills blueprints procedurally.
+struct TaskBlueprint {
+  std::string id;
+  std::string prompt;
+  std::string scenario;  // registry key
+  bool training = true;
+  bool holdout = false;
+  std::string observe;     // "the traffic light"
+  std::string light_cond;  // "" when the manoeuvre needs no signal
+  std::string light_wait;  // "Wait for/until …" phrasing
+  std::vector<std::string> obstacle_conds;  // negated, "no car from the left"
+  std::string action;        // "turn right"
+  std::string wrong_action;  // plausible but non-compliant manoeuvre
+};
+
+/// Expand a blueprint into a Task with the full variant distribution
+/// (good, good_verbose, split_checks, dropped guards, wrong action,
+/// reckless, unaligned — variants whose slots are empty are skipped).
+Task instantiate_task(const TaskBlueprint& t);
 
 /// The full catalog: five training tasks and three validation tasks across
 /// the five scenario models.

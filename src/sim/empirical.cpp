@@ -46,4 +46,59 @@ EmpiricalReport empirical_evaluation(const Simulator& simulator,
   return report;
 }
 
+std::vector<ScenarioSweepEntry> empirical_scenario_sweep(
+    const driving::DrivingDomain& domain, int rollouts, std::uint64_t seed,
+    SimulatorConfig base) {
+  // Noise may flip observed environment propositions, never the action
+  // bits the controller emitted.
+  logic::Symbol action_mask = 0;
+  for (const char* a : {"stop", "turn_left", "turn_right", "go_straight"}) {
+    const auto bit = domain.vocab().find(a);
+    DPOAF_CHECK_MSG(bit.has_value(),
+                    "driving vocabulary missing action " + std::string(a));
+    action_mask |= logic::Vocabulary::bit(*bit);
+  }
+
+  Rng root(seed);
+  std::vector<ScenarioSweepEntry> out;
+  out.reserve(domain.scenarios().size());
+  for (const driving::Scenario& sc : domain.scenarios()) {
+    Rng rng = root.split();  // serial, registry order — deterministic
+    const driving::Task* task = nullptr;
+    for (const driving::Task& t : domain.tasks())
+      if (t.scenario == sc.key) {
+        task = &t;
+        break;
+      }
+    DPOAF_CHECK_MSG(task != nullptr,
+                    "scenario has no catalog task: " + sc.key);
+    const driving::ResponseVariant* good = nullptr;
+    for (const driving::ResponseVariant& v : task->variants)
+      if (v.tag == driving::FlawTag::Good) {
+        good = &v;
+        break;
+      }
+    DPOAF_CHECK_MSG(good != nullptr,
+                    "task has no compliant variant: " + task->id);
+    const driving::FeedbackResult fb =
+        driving::formal_feedback(domain, sc.key, good->text);
+    DPOAF_CHECK_MSG(fb.aligned,
+                    "compliant variant failed to align: " + task->id);
+
+    SimulatorConfig cfg = base;
+    cfg.perception_noise = sc.perception_noise;
+    cfg.noise_mask = ~action_mask;
+    cfg.epsilon_label = domain.stop_action();
+    const Simulator simulator(sc.model, cfg);
+    ScenarioSweepEntry entry;
+    entry.scenario_key = sc.key;
+    entry.generated = sc.generated;
+    entry.holdout = sc.holdout;
+    entry.report =
+        empirical_evaluation(simulator, fb.controller, sc.specs, rollouts, rng);
+    out.push_back(std::move(entry));
+  }
+  return out;
+}
+
 }  // namespace dpoaf::sim

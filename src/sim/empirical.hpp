@@ -6,9 +6,11 @@
 // fine-tuning.
 #pragma once
 
+#include <cstdint>
 #include <string>
 #include <vector>
 
+#include "driving/domain.hpp"
 #include "modelcheck/checker.hpp"
 #include "sim/simulator.hpp"
 
@@ -43,5 +45,26 @@ EmpiricalReport empirical_evaluation(const Simulator& simulator,
                                      const FsaController& controller,
                                      const std::vector<NamedSpec>& specs,
                                      int rollouts, Rng& rng);
+
+/// One row of the registry-wide sweep below.
+struct ScenarioSweepEntry {
+  std::string scenario_key;
+  bool generated = false;
+  bool holdout = false;
+  EmpiricalReport report;
+};
+
+/// Empirical evaluation across the *whole* scenario registry — generated
+/// scenarios included: for every scenario, synthesize the reference
+/// controller (the canonical compliant variant of the scenario's first
+/// catalog task), simulate it under the scenario's own perception-noise
+/// level (the grammar's noise axis; env propositions only), and evaluate
+/// the rollouts against the scenario's own rulebook. Deterministic per
+/// seed: one child Rng per scenario, split in registry order.
+/// `base.perception_noise` and `base.noise_mask`/`epsilon_label` are
+/// overridden per scenario; the other fields pass through.
+std::vector<ScenarioSweepEntry> empirical_scenario_sweep(
+    const driving::DrivingDomain& domain, int rollouts, std::uint64_t seed,
+    SimulatorConfig base = {});
 
 }  // namespace dpoaf::sim

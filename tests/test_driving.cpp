@@ -27,11 +27,28 @@ class DrivingTest : public ::testing::Test {
 // ------------------------------------------------------------ scenarios ---
 
 TEST_F(DrivingTest, ScenarioModelsHaveNoDeadlocks) {
-  for (ScenarioId id : all_scenarios()) {
-    const auto& m = domain().model(id);
-    EXPECT_GT(m.state_count(), 0u) << scenario_name(id);
-    EXPECT_TRUE(m.deadlock_states().empty()) << scenario_name(id);
+  // Over the registry, not the enum: any generated scenarios installed in
+  // a domain inherit the same invariant.
+  for (const Scenario& s : domain().scenarios()) {
+    EXPECT_GT(s.model.state_count(), 0u) << s.key;
+    EXPECT_TRUE(s.model.deadlock_states().empty()) << s.key;
   }
+}
+
+TEST_F(DrivingTest, RegistryCoversPaperScenariosAndEnumAccessorsAgree) {
+  EXPECT_EQ(domain().scenarios().size(), all_scenarios().size());
+  for (ScenarioId id : all_scenarios()) {
+    const Scenario& s = domain().scenario(scenario_name(id));
+    EXPECT_FALSE(s.generated) << s.key;
+    EXPECT_FALSE(s.holdout) << s.key;
+    // Enum overloads forward to the same registry entry.
+    EXPECT_EQ(&domain().model(id), &s.model);
+    EXPECT_EQ(&domain().fairness(id), &s.fairness);
+    // Paper scenarios carry the full 15-spec rulebook.
+    EXPECT_EQ(s.specs.size(), domain().specs().size());
+  }
+  EXPECT_THROW((void)domain().scenario("no_such_scenario"),
+               ContractViolation);
 }
 
 TEST_F(DrivingTest, ScenarioStateCounts) {
@@ -61,12 +78,12 @@ TEST_F(DrivingTest, LeftTurnHeadShowsOneAspectAtATime) {
 }
 
 TEST_F(DrivingTest, TransitionsChangeAtMostTwoPropositions) {
-  for (ScenarioId id : all_scenarios()) {
-    const auto& m = domain().model(id);
+  for (const Scenario& s : domain().scenarios()) {
+    const auto& m = s.model;
     for (std::size_t p = 0; p < m.state_count(); ++p) {
       for (int q : m.successors(static_cast<int>(p))) {
         const auto diff = m.label(static_cast<int>(p)) ^ m.label(q);
-        EXPECT_LE(__builtin_popcountll(diff), 2);
+        EXPECT_LE(__builtin_popcountll(diff), 2) << s.key;
       }
     }
   }
@@ -82,15 +99,15 @@ TEST_F(DrivingTest, UniversalModelIntegratesAllScenarios) {
 
 TEST_F(DrivingTest, FairnessAssumptionsAreSatisfiableInTheirScenario) {
   // fair → false must NOT hold: some trace of the scenario is fair.
-  for (ScenarioId id : all_scenarios()) {
+  for (const Scenario& s : domain().scenarios()) {
     automata::FsaController idle(domain().stop_action());
     idle.add_state();
-    const auto k = automata::make_product(domain().model(id), idle,
+    const auto k = automata::make_product(s.model, idle,
                                           domain().product_options());
     const auto res = modelcheck::check_under_fairness(
-        k, logic::ltl::lfalse(), domain().fairness(id));
+        k, logic::ltl::lfalse(), s.fairness);
     EXPECT_FALSE(res.holds)
-        << scenario_name(id) << ": fairness is unsatisfiable (vacuous)";
+        << s.key << ": fairness is unsatisfiable (vacuous)";
   }
 }
 
@@ -144,7 +161,7 @@ TEST_F(DrivingTest, VariantTextsAreDistinctWithinATask) {
 
 TEST_F(DrivingTest, TaskByIdFindsAndThrows) {
   EXPECT_EQ(domain().task_by_id("enter_roundabout").scenario,
-            ScenarioId::Roundabout);
+            scenario_name(ScenarioId::Roundabout));
   EXPECT_THROW((void)domain().task_by_id("no_such_task"), ContractViolation);
 }
 

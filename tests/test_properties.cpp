@@ -14,8 +14,11 @@
 #include "ckpt/store.hpp"
 #include "core/pipeline.hpp"
 #include "driving/domain.hpp"
+#include "driving/generator/generator.hpp"
 #include "logic/lasso_eval.hpp"
 #include "logic/ltlf.hpp"
+#include "logic/parser.hpp"
+#include "monitor/monitor.hpp"
 #include "modelcheck/buchi.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
@@ -229,6 +232,89 @@ TEST_P(PropertySweep, NoiselessRolloutsAreModelPathsInEveryScenario) {
       ASSERT_TRUE(model.has_transition(rollout.model_states[t],
                                        rollout.model_states[t + 1]))
           << driving::scenario_name(id);
+  }
+}
+
+// ------------------------- generated-rulebook fuzz bridge ---------------
+//
+// The procedural generator (docs/GENERATOR.md) emits rulebooks no human
+// reviewed, so the bridge properties fuzz them through every formula
+// consumer: the ASCII printer→parser round-trip, the satisfiability
+// pre-pass, monitor compilation, and monitor-vs-tree-evaluator agreement
+// on random walks of the generated scenario's own model.
+
+TEST_P(PropertySweep, GeneratedRulebooksSurvivePrinterParserRoundTrip) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 73 + 19);
+  const auto& vocab = domain().vocab();
+  const auto features = driving::generator::draw_features(rng);
+  // Raw template instantiations — *before* the pre-pass — so the
+  // degenerate tautologies are fuzzed too, plus the fairness assumptions.
+  std::vector<logic::Ltl> formulas;
+  for (const auto& spec : driving::generator::rule_templates(features, vocab))
+    formulas.push_back(spec.formula);
+  for (const auto& f : driving::generator::derive_fairness(features, vocab))
+    formulas.push_back(f);
+  ASSERT_FALSE(formulas.empty());
+  for (const logic::Ltl& f : formulas) {
+    // The pre-pass classifies every raw instantiation without CHECKing.
+    (void)monitor::classify_spec(f);
+    const std::string printed = logic::to_string(f, vocab);
+    const logic::Ltl reparsed = logic::parse_ltl(printed, vocab);
+    // Printing is a normal form: the round-trip is a fixed point.
+    EXPECT_EQ(logic::to_string(reparsed, vocab), printed);
+    // And semantics survive: verdicts agree on a short random trace.
+    logic::Trace trace;
+    const auto all_props = vocab.prop_indices();
+    const auto all_actions = vocab.action_indices();
+    for (int t = 0; t < 8; ++t) {
+      Symbol sym = 0;
+      for (int bit : all_props)
+        if (rng.chance(0.4)) sym |= Vocabulary::bit(bit);
+      sym |= Vocabulary::bit(all_actions[rng.below(all_actions.size())]);
+      trace.push_back(sym);
+    }
+    EXPECT_EQ(logic::evaluate_ltlf(reparsed, trace),
+              logic::evaluate_ltlf(f, trace))
+        << printed;
+  }
+}
+
+TEST_P(PropertySweep, GeneratedSpecsCompileAndMonitorMatchesTreeEvaluator) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 59 + 29);
+  const auto& vocab = domain().vocab();
+  const auto features = driving::generator::draw_features(rng);
+  const auto model = driving::generator::build_model(features, vocab);
+  const auto specs = driving::generator::instantiate_rulebook(features, vocab);
+  ASSERT_FALSE(specs.empty());
+
+  // Random walks through the scenario's own model, with a random action
+  // bit per step (monitors see observation ∪ action symbols in the sim).
+  const auto actions = vocab.action_indices();
+  std::vector<logic::Trace> traces;
+  for (int r = 0; r < 6; ++r) {
+    auto s = static_cast<int>(rng.below(model.state_count()));
+    logic::Trace trace;
+    for (int step = 0; step < 12; ++step) {
+      trace.push_back(model.label(s) |
+                      Vocabulary::bit(actions[rng.below(actions.size())]));
+      const auto& succ = model.successors(s);
+      ASSERT_FALSE(succ.empty());
+      s = succ[rng.below(succ.size())];
+    }
+    traces.push_back(std::move(trace));
+  }
+
+  for (const auto& spec : specs) {
+    // Everything the pre-pass retained is a real constraint and small
+    // enough to compile (the rulebook never exceeds the support cap).
+    const auto mon = monitor::compile_monitor(spec.formula);
+    ASSERT_NE(mon, nullptr) << spec.name;
+    EXPECT_FALSE(mon->is_unsatisfiable()) << spec.name;
+    EXPECT_FALSE(mon->is_trivially_true()) << spec.name;
+    for (const auto& trace : traces)
+      EXPECT_EQ(mon->accepts(trace),
+                logic::evaluate_ltlf(spec.formula, trace))
+          << spec.name;
   }
 }
 

@@ -219,5 +219,49 @@ TEST_F(SimTest, NoiseDegradesSafetySatisfaction) {
             clean_report.probability_of("phi_5") + 1e-9);
 }
 
+// ------------------------------------------------- registry-wide sweep ---
+
+TEST_F(SimTest, ScenarioSweepCoversWholeRegistry) {
+  // No five-scenario assumption: the sweep covers whatever the registry
+  // holds, in registry order.
+  const auto sweep = empirical_scenario_sweep(domain(), 40, 31);
+  ASSERT_EQ(sweep.size(), domain().scenarios().size());
+  for (std::size_t i = 0; i < sweep.size(); ++i) {
+    EXPECT_EQ(sweep[i].scenario_key, domain().scenarios()[i].key);
+    EXPECT_FALSE(sweep[i].generated);
+    EXPECT_EQ(sweep[i].report.rollouts, 40);
+    EXPECT_EQ(sweep[i].report.per_spec.size(),
+              domain().scenarios()[i].specs.size());
+    for (const auto& s : sweep[i].report.per_spec) {
+      EXPECT_GE(s.probability, 0.0) << sweep[i].scenario_key;
+      EXPECT_LE(s.probability, 1.0) << sweep[i].scenario_key;
+    }
+  }
+}
+
+TEST_F(SimTest, ScenarioSweepIsDeterministicAndCoversGeneratedScenarios) {
+  driving::generator::GeneratorConfig gen;
+  gen.seed = 5;
+  gen.count = 6;
+  gen.holdout = 2;
+  const DrivingDomain d(gen);
+  const auto a = empirical_scenario_sweep(d, 30, 37);
+  const auto b = empirical_scenario_sweep(d, 30, 37);
+  ASSERT_EQ(a.size(), d.scenarios().size());
+  int generated = 0, holdout = 0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].scenario_key, b[i].scenario_key);
+    ASSERT_EQ(a[i].report.per_spec.size(), b[i].report.per_spec.size());
+    for (std::size_t j = 0; j < a[i].report.per_spec.size(); ++j)
+      EXPECT_EQ(a[i].report.per_spec[j].probability,
+                b[i].report.per_spec[j].probability)
+          << a[i].scenario_key << "/" << a[i].report.per_spec[j].spec_name;
+    if (a[i].generated) ++generated;
+    if (a[i].holdout) ++holdout;
+  }
+  EXPECT_EQ(generated, 6);
+  EXPECT_EQ(holdout, 2);
+}
+
 }  // namespace
 }  // namespace dpoaf::sim
